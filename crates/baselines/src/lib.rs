@@ -1,0 +1,28 @@
+//! Baseline BFT protocols for comparison against `fastbft-core`.
+//!
+//! The target paper positions its protocol against two reference points:
+//!
+//! * [`pbft`] — the classic three-step protocol with optimal resilience
+//!   `n = 3f + 1` (Castro & Liskov). Decides in **three** message delays in
+//!   the common case: the latency gap that motivates fast Byzantine
+//!   consensus (§1.1).
+//! * [`fab`] — FaB Paxos (Martin & Alvisi), the previous fast protocol:
+//!   **two** message delays but `n = 3f + 2t + 1` processes (`5f + 1` when
+//!   `t = f`), two more than the paper's tight bound `3f + 2t − 1`.
+//!
+//! Both are implemented as [`fastbft_sim::Actor`]s so the latency,
+//! resilience, message-complexity and certificate-growth experiments
+//! (E5–E7, E12) can run all three protocols under identical network
+//! conditions.
+//!
+//! Faithfulness notes are at the top of each module; simplifications are
+//! summarized in `DESIGN.md` §2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fab;
+pub mod pbft;
+
+pub use fab::{fab_config, fab_min_n, FabMessage, FabReplica};
+pub use pbft::{PbftMessage, PbftReplica};

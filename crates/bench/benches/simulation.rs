@@ -1,0 +1,52 @@
+//! End-to-end simulation benchmarks: full consensus instances including
+//! every signature and certificate check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbft_core::cluster::{Behavior, SimCluster};
+use fastbft_core::lower_bound;
+use fastbft_types::{Config, View};
+
+fn bench_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_path_decision");
+    for (n, f, t) in [(4usize, 1usize, 1usize), (9, 2, 2), (14, 3, 3)] {
+        let cfg = Config::new(n, f, t).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut cluster =
+                    SimCluster::builder(*cfg).inputs_u64(vec![7; cfg.n()]).build();
+                let report = cluster.run_until_all_decide();
+                assert!(report.all_decided);
+                report.decision_delays_max()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_change(c: &mut Criterion) {
+    let cfg = Config::new(4, 1, 1).unwrap();
+    let leader = cfg.leader(View::FIRST);
+    c.bench_function("view_change_decision", |b| {
+        b.iter(|| {
+            let mut cluster = SimCluster::builder(cfg)
+                .inputs_u64([5, 5, 5, 5])
+                .behavior(leader, Behavior::Silent)
+                .build();
+            let report = cluster.run_until_all_decide();
+            assert!(report.all_decided);
+        });
+    });
+}
+
+fn bench_lower_bound(c: &mut Criterion) {
+    c.bench_function("lower_bound_attack_pair", |b| {
+        b.iter(|| {
+            let below = lower_bound::run_attack(lower_bound::below_bound_n(), 1);
+            let at = lower_bound::run_attack(lower_bound::at_bound_n(), 1);
+            assert!(below.disagreement && !at.disagreement);
+        });
+    });
+}
+
+criterion_group!(benches, bench_fast_path, bench_view_change, bench_lower_bound);
+criterion_main!(benches);

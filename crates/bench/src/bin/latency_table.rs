@@ -1,0 +1,107 @@
+//! E6 — common-case latency: 2Δ (this paper, FaB) vs 3Δ (PBFT).
+//!
+//! Every protocol runs at its own minimum process count for each `(f, t)`,
+//! on an identical synchronous network, all processes correct, unanimous
+//! inputs. Reported: decision latency in message delays and total messages.
+
+use fastbft_baselines::{fab_config, FabReplica, PbftReplica};
+use fastbft_bench::{header, row};
+use fastbft_core::cluster::SimCluster;
+use fastbft_crypto::KeyDirectory;
+use fastbft_sim::{Network, SimDuration, SimTime, Simulation};
+use fastbft_types::{Config, ProcessId, ProtocolKind, Value};
+
+fn ktz(f: usize, t: usize) -> (usize, u64, usize) {
+    let n = ProtocolKind::Ktz.min_n(f, t);
+    let cfg = Config::new(n, f, t).unwrap();
+    let mut cluster = SimCluster::builder(cfg)
+        .inputs_u64(vec![7; n])
+        .build();
+    let report = cluster.run_until_all_decide();
+    assert!(report.violations.is_empty() && report.all_decided);
+    (n, report.decision_delays_max(), report.stats.messages)
+}
+
+fn fab(f: usize, t: usize) -> (usize, u64, usize) {
+    let n = ProtocolKind::FabPaxos.min_n(f, t);
+    let cfg = fab_config(n, f, t).unwrap();
+    let (pairs, dir) = KeyDirectory::generate(n, 5);
+    let mut sim = Simulation::new(Network::synchronous(SimDuration::DELTA), 5);
+    for keys in pairs.iter().take(n).cloned() {
+        sim.add_actor(Box::new(FabReplica::new(
+            cfg,
+            keys,
+            dir.clone(),
+            Value::from_u64(7),
+            )));
+    }
+    sim.start();
+    let all: Vec<ProcessId> = (1..=n as u32).map(ProcessId).collect();
+    assert!(sim.run_until_all_decide(&all, SimTime(1_000_000)));
+    let delays = sim
+        .decisions()
+        .iter()
+        .map(|(_, t, _)| t.0.div_ceil(SimDuration::DELTA.0))
+        .max()
+        .unwrap();
+    (n, delays, sim.trace().message_stats(SimTime::NEVER).messages)
+}
+
+fn pbft(f: usize) -> (usize, u64, usize) {
+    let n = ProtocolKind::Pbft.min_n(f, 0);
+    let cfg = Config::new_unchecked(n, f, 1.min(f));
+    let (pairs, dir) = KeyDirectory::generate(n, 6);
+    let mut sim = Simulation::new(Network::synchronous(SimDuration::DELTA), 6);
+    for keys in pairs.iter().take(n).cloned() {
+        sim.add_actor(Box::new(PbftReplica::new(
+            cfg,
+            keys,
+            dir.clone(),
+            Value::from_u64(7),
+            )));
+    }
+    sim.start();
+    let all: Vec<ProcessId> = (1..=n as u32).map(ProcessId).collect();
+    assert!(sim.run_until_all_decide(&all, SimTime(1_000_000)));
+    let delays = sim
+        .decisions()
+        .iter()
+        .map(|(_, t, _)| t.0.div_ceil(SimDuration::DELTA.0))
+        .max()
+        .unwrap();
+    (n, delays, sim.trace().message_stats(SimTime::NEVER).messages)
+}
+
+fn main() {
+    println!("# E6 — common-case latency across protocols (synchronous, all correct)\n");
+    println!(
+        "{}",
+        header(&[
+            "f", "t",
+            "KTZ21 n", "KTZ21 delays", "KTZ21 msgs",
+            "FaB n", "FaB delays", "FaB msgs",
+            "PBFT n", "PBFT delays", "PBFT msgs",
+        ])
+    );
+    for f in 1..=3usize {
+        for t in 1..=f {
+            let (kn, kd, km) = ktz(f, t);
+            let (fnn, fd, fm) = fab(f, t);
+            let (pn, pd, pm) = pbft(f);
+            println!(
+                "{}",
+                row(&[
+                    f.to_string(), t.to_string(),
+                    kn.to_string(), kd.to_string(), km.to_string(),
+                    fnn.to_string(), fd.to_string(), fm.to_string(),
+                    pn.to_string(), pd.to_string(), pm.to_string(),
+                ])
+            );
+            assert_eq!(kd, 2, "KTZ21 is two-step");
+            assert_eq!(fd, 2, "FaB is two-step");
+            assert_eq!(pd, 3, "PBFT is three-step");
+        }
+    }
+    println!("\nshape check: both fast protocols at 2 delays, PBFT at 3 — at every (f, t),");
+    println!("with KTZ21 using two fewer processes than FaB. ✓");
+}

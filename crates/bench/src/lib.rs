@@ -1,0 +1,26 @@
+//! Experiment harnesses reproducing the paper's figures and claims.
+//!
+//! This crate hosts no library logic of its own — see the `src/bin/`
+//! binaries (one per experiment, indexed in `DESIGN.md` §5 and recorded in
+//! `EXPERIMENTS.md`) and the Criterion benches under `benches/`.
+//!
+//! Shared helpers for the binaries live here.
+
+#![forbid(unsafe_code)]
+
+use fastbft_sim::SimDuration;
+
+/// The Δ used across the experiment binaries.
+pub const DELTA: SimDuration = SimDuration::DELTA;
+
+/// Renders a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Renders a markdown-style header + separator.
+pub fn header(cells: &[&str]) -> String {
+    let head = format!("| {} |", cells.join(" | "));
+    let sep = format!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    format!("{head}\n{sep}")
+}

@@ -1,0 +1,440 @@
+//! Votes, progress certificates and commit certificates.
+//!
+//! * [`VoteData`] / [`Vote`] — the paper's `vote_q = (x, u, σ, τ)` (§3.2),
+//!   extended with the latest commit certificate (Appendix A.2);
+//! * [`SignedVote`] — a vote plus `φ_vote = sign_q((vote, vote_q, v))`,
+//!   bound to the destination view `v`;
+//! * [`ProgressCert`] — the paper's `σ`: proof that a value is safe in a
+//!   view. Comes in the **bounded** form the paper contributes (`f + 1`
+//!   CertAck signatures) and the **naive** form it discusses and rejects
+//!   (the full vote set, verified by re-running the selection algorithm) —
+//!   kept for the certificate-growth ablation (experiment E7);
+//! * [`CommitCert`] — the paper's slow-path commit certificate:
+//!   `⌈(n+f+1)/2⌉` signature shares over `(ack, x, v)`.
+
+use fastbft_crypto::{KeyDirectory, KeyPair, Signature, SignatureSet};
+use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
+use fastbft_types::{Config, ProcessId, Value, View};
+
+use crate::payload::{ack_payload, certack_payload, propose_payload, vote_payload};
+use crate::selection::{select, Outcome, SelectionError};
+
+/// Which progress-certificate construction the protocol uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CertMode {
+    /// The paper's contribution: constant-size certificates built from
+    /// `f + 1` CertAck signatures via the extra view-change round-trip.
+    #[default]
+    Bounded,
+    /// The naive scheme §3.2 discusses: the certificate is the whole vote
+    /// set; verifiers re-run the selection algorithm. Certificate size (and
+    /// verification time) grows with the view number — the ablation of E7.
+    Naive,
+}
+
+/// A progress certificate: transferable proof that value `x` is safe in
+/// view `v` (no other value was or will be decided in any view `< v`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProgressCert {
+    /// The trivial certificate for view 1, where any value is safe (`⊥`).
+    Genesis,
+    /// `f + 1` signatures over `(CertAck, x, v)` — at least one is from a
+    /// correct process that re-ran the selection algorithm (§3.2).
+    Bounded(SignatureSet),
+    /// The full set of `≥ n − f` signed votes; verified by re-running the
+    /// selection algorithm locally.
+    Naive(Vec<SignedVote>),
+}
+
+impl ProgressCert {
+    /// Verifies that this certificate proves `x` safe in `v`.
+    pub fn verify(&self, cfg: &Config, dir: &KeyDirectory, x: &Value, v: View) -> bool {
+        match self {
+            ProgressCert::Genesis => v.is_first(),
+            ProgressCert::Bounded(sigs) => {
+                sigs.verify(&certack_payload(x, v), dir, cfg.cert_quorum())
+            }
+            ProgressCert::Naive(votes) => {
+                // Re-run the selection algorithm on the presented votes, as a
+                // CertRequest verifier would (the naive scheme makes *every*
+                // propose recipient such a verifier).
+                let mut map = std::collections::BTreeMap::new();
+                for sv in votes {
+                    if !sv.is_valid(cfg, dir, v) {
+                        return false;
+                    }
+                    if map.insert(sv.voter, sv.clone()).is_some() {
+                        return false; // duplicate voter
+                    }
+                }
+                match select(cfg, v, &map) {
+                    Ok(result) => match result.outcome {
+                        Outcome::Constrained(ref y) => y == x,
+                        Outcome::Free => true,
+                    },
+                    Err(SelectionError::NeedMoreVotes { .. }) => false,
+                }
+            }
+        }
+    }
+
+    /// Encoded size in bytes (the E7 metric).
+    pub fn wire_size(&self) -> usize {
+        self.to_wire_bytes().len()
+    }
+}
+
+impl Encode for ProgressCert {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ProgressCert::Genesis => buf.push(0),
+            ProgressCert::Bounded(sigs) => {
+                buf.push(1);
+                sigs.encode(buf);
+            }
+            ProgressCert::Naive(votes) => {
+                buf.push(2);
+                votes.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ProgressCert {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(ProgressCert::Genesis),
+            1 => Ok(ProgressCert::Bounded(SignatureSet::decode(r)?)),
+            2 => Ok(ProgressCert::Naive(Vec::<SignedVote>::decode(r)?)),
+            tag => Err(WireError::InvalidTag {
+                tag,
+                context: "ProgressCert",
+            }),
+        }
+    }
+}
+
+/// A commit certificate: `⌈(n+f+1)/2⌉` signature shares over `(ack, x, v)`
+/// (Appendix A). Holding one proves no other value can be decided in `v`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommitCert {
+    /// The committed value.
+    pub value: Value,
+    /// The view the shares were produced in.
+    pub view: View,
+    /// The signature shares.
+    pub sigs: SignatureSet,
+}
+
+impl CommitCert {
+    /// Verifies the certificate against the slow-path quorum.
+    pub fn verify(&self, cfg: &Config, dir: &KeyDirectory) -> bool {
+        self.sigs
+            .verify(&ack_payload(&self.value, self.view), dir, cfg.slow_quorum())
+    }
+
+    /// Encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_wire_bytes().len()
+    }
+}
+
+fastbft_types::impl_wire_struct!(CommitCert { value, view, sigs });
+
+/// The paper's `vote_q = (x, u, σ, τ)`, plus the piggybacked latest commit
+/// certificate of the generalized protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VoteData {
+    /// The value this process last acknowledged (`x`).
+    pub value: Value,
+    /// The view in which it acknowledged (`u`).
+    pub view: View,
+    /// The progress certificate from the propose it acknowledged (`σ`).
+    pub progress_cert: ProgressCert,
+    /// `τ = sign_{leader(u)}((propose, x, u))`.
+    pub leader_sig: Signature,
+    /// The most recent commit certificate this process has collected, if any
+    /// (Appendix A.2: "each process will add to their vote the latest commit
+    /// certificate that they have collected").
+    pub commit_cert: Option<CommitCert>,
+}
+
+fastbft_types::impl_wire_struct!(VoteData {
+    value,
+    view,
+    progress_cert,
+    leader_sig,
+    commit_cert
+});
+
+/// A vote: `nil` ([`None`]) until the process first acknowledges a proposal,
+/// then the data of the latest acknowledged proposal.
+pub type Vote = Option<VoteData>;
+
+/// A vote signed for a specific destination view:
+/// `(vote_q, φ_vote = sign_q((vote, vote_q, v)))`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignedVote {
+    /// The voting process.
+    pub voter: ProcessId,
+    /// Its vote.
+    pub vote: Vote,
+    /// `φ_vote`, binding the vote to the destination view.
+    pub sig: Signature,
+}
+
+fastbft_types::impl_wire_struct!(SignedVote { voter, vote, sig });
+
+impl SignedVote {
+    /// Creates and signs a vote destined for the leader of `dest_view`.
+    pub fn sign(keypair: &KeyPair, vote: Vote, dest_view: View) -> Self {
+        let payload = vote_payload(&vote.to_wire_bytes(), dest_view);
+        SignedVote {
+            voter: keypair.id(),
+            vote,
+            sig: keypair.sign(&payload),
+        }
+    }
+
+    /// Full validity check (the paper's "valid vote", §3.2): the vote
+    /// signature is valid for `dest_view`, and — for non-nil votes — the
+    /// embedded view precedes `dest_view`, `τ` is a valid signature by
+    /// `leader(u)` over `(propose, x, u)`, the progress certificate proves
+    /// `x` safe in `u`, and any piggybacked commit certificate is valid and
+    /// no newer than `u`.
+    pub fn is_valid(&self, cfg: &Config, dir: &KeyDirectory, dest_view: View) -> bool {
+        if self.sig.signer != self.voter {
+            return false;
+        }
+        let payload = vote_payload(&self.vote.to_wire_bytes(), dest_view);
+        if !dir.verify(&payload, &self.sig) {
+            return false;
+        }
+        let Some(vd) = &self.vote else {
+            return true; // nil votes are valid by definition
+        };
+        if vd.view >= dest_view || vd.view.0 < 1 {
+            return false;
+        }
+        if vd.leader_sig.signer != cfg.leader(vd.view) {
+            return false;
+        }
+        if !dir.verify(&propose_payload(&vd.value, vd.view), &vd.leader_sig) {
+            return false;
+        }
+        if !vd.progress_cert.verify(cfg, dir, &vd.value, vd.view) {
+            return false;
+        }
+        if let Some(cc) = &vd.commit_cert {
+            if cc.view > vd.view || !cc.verify(cfg, dir) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbft_types::wire::roundtrip;
+
+    fn setup() -> (Config, Vec<KeyPair>, KeyDirectory) {
+        let cfg = Config::new(4, 1, 1).unwrap();
+        let (pairs, dir) = KeyDirectory::generate(4, 1);
+        (cfg, pairs, dir)
+    }
+
+    /// A valid propose signature for view 1 by its leader (p2 under the
+    /// paper's leader map).
+    fn tau(pairs: &[KeyPair], cfg: &Config, x: &Value, v: View) -> Signature {
+        pairs[cfg.leader(v).index()].sign(&propose_payload(x, v))
+    }
+
+    #[test]
+    fn genesis_cert_only_valid_in_view_one() {
+        let (cfg, _pairs, dir) = setup();
+        let x = Value::from_u64(1);
+        assert!(ProgressCert::Genesis.verify(&cfg, &dir, &x, View(1)));
+        assert!(!ProgressCert::Genesis.verify(&cfg, &dir, &x, View(2)));
+    }
+
+    #[test]
+    fn bounded_cert_requires_f_plus_one_signers() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(1);
+        let v = View(3);
+        let payload = certack_payload(&x, v);
+        let one: SignatureSet = [pairs[0].sign(&payload)].into_iter().collect();
+        assert!(!ProgressCert::Bounded(one).verify(&cfg, &dir, &x, v));
+        let two: SignatureSet = pairs[..2].iter().map(|p| p.sign(&payload)).collect();
+        assert!(ProgressCert::Bounded(two).verify(&cfg, &dir, &x, v));
+        // Signatures over the wrong value do not certify x.
+        let wrong: SignatureSet = pairs[..2]
+            .iter()
+            .map(|p| p.sign(&certack_payload(&Value::from_u64(2), v)))
+            .collect();
+        assert!(!ProgressCert::Bounded(wrong).verify(&cfg, &dir, &x, v));
+    }
+
+    #[test]
+    fn commit_cert_requires_slow_quorum() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(5);
+        let v = View(1);
+        let payload = ack_payload(&x, v);
+        // slow quorum for (4,1,1) is ceil(6/2) = 3.
+        let cc = CommitCert {
+            value: x.clone(),
+            view: v,
+            sigs: pairs[..3].iter().map(|p| p.sign(&payload)).collect(),
+        };
+        assert!(cc.verify(&cfg, &dir));
+        let small = CommitCert {
+            value: x.clone(),
+            view: v,
+            sigs: pairs[..2].iter().map(|p| p.sign(&payload)).collect(),
+        };
+        assert!(!small.verify(&cfg, &dir));
+    }
+
+    #[test]
+    fn nil_votes_validate_and_roundtrip() {
+        let (cfg, pairs, dir) = setup();
+        let sv = SignedVote::sign(&pairs[2], None, View(4));
+        assert!(sv.is_valid(&cfg, &dir, View(4)));
+        // …but not for a different destination view (replay defence).
+        assert!(!sv.is_valid(&cfg, &dir, View(5)));
+        roundtrip(&sv);
+    }
+
+    #[test]
+    fn real_vote_validates() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(9);
+        let vd = VoteData {
+            value: x.clone(),
+            view: View(1),
+            progress_cert: ProgressCert::Genesis,
+            leader_sig: tau(&pairs, &cfg, &x, View(1)),
+            commit_cert: None,
+        };
+        let sv = SignedVote::sign(&pairs[0], Some(vd), View(2));
+        assert!(sv.is_valid(&cfg, &dir, View(2)));
+        roundtrip(&sv);
+    }
+
+    #[test]
+    fn vote_with_forged_leader_sig_rejected() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(9);
+        // p3 signs instead of leader(1) = p2.
+        let vd = VoteData {
+            value: x.clone(),
+            view: View(1),
+            progress_cert: ProgressCert::Genesis,
+            leader_sig: pairs[2].sign(&propose_payload(&x, View(1))),
+            commit_cert: None,
+        };
+        let sv = SignedVote::sign(&pairs[0], Some(vd), View(2));
+        assert!(!sv.is_valid(&cfg, &dir, View(2)));
+    }
+
+    #[test]
+    fn vote_view_must_precede_destination() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(9);
+        let vd = VoteData {
+            value: x.clone(),
+            view: View(3),
+            progress_cert: ProgressCert::Genesis, // also invalid for view 3
+            leader_sig: tau(&pairs, &cfg, &x, View(3)),
+            commit_cert: None,
+        };
+        // view 3 not < dest view 3
+        let sv = SignedVote::sign(&pairs[0], Some(vd), View(3));
+        assert!(!sv.is_valid(&cfg, &dir, View(3)));
+    }
+
+    #[test]
+    fn vote_with_stale_commit_cert_ok_future_cc_rejected() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(9);
+        let cc = CommitCert {
+            value: x.clone(),
+            view: View(1),
+            sigs: pairs[..3]
+                .iter()
+                .map(|p| p.sign(&ack_payload(&x, View(1))))
+                .collect(),
+        };
+        let make = |cc_view: View| {
+            let mut cc = cc.clone();
+            cc.view = cc_view;
+            VoteData {
+                value: x.clone(),
+                view: View(1),
+                progress_cert: ProgressCert::Genesis,
+                leader_sig: tau(&pairs, &cfg, &x, View(1)),
+                commit_cert: Some(cc),
+            }
+        };
+        let good = SignedVote::sign(&pairs[0], Some(make(View(1))), View(2));
+        assert!(good.is_valid(&cfg, &dir, View(2)));
+        // cc.view > vote.view is malformed.
+        let bad = SignedVote::sign(&pairs[0], Some(make(View(2))), View(3));
+        assert!(!bad.is_valid(&cfg, &dir, View(3)));
+    }
+
+    #[test]
+    fn tampered_vote_rejected() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(9);
+        let vd = VoteData {
+            value: x.clone(),
+            view: View(1),
+            progress_cert: ProgressCert::Genesis,
+            leader_sig: tau(&pairs, &cfg, &x, View(1)),
+            commit_cert: None,
+        };
+        let mut sv = SignedVote::sign(&pairs[0], Some(vd), View(2));
+        // Tamper with the embedded value after signing.
+        if let Some(vd) = &mut sv.vote {
+            vd.value = Value::from_u64(10);
+        }
+        assert!(!sv.is_valid(&cfg, &dir, View(2)));
+        // Claiming someone else's voter id also fails.
+        let sv2 = SignedVote {
+            voter: ProcessId(3),
+            ..SignedVote::sign(&pairs[0], None, View(2))
+        };
+        assert!(!sv2.is_valid(&cfg, &dir, View(2)));
+    }
+
+    #[test]
+    fn progress_cert_wire_roundtrips() {
+        let (_, pairs, _) = setup();
+        roundtrip(&ProgressCert::Genesis);
+        let set: SignatureSet = pairs[..2].iter().map(|p| p.sign(b"s")).collect();
+        roundtrip(&ProgressCert::Bounded(set));
+        let votes = vec![
+            SignedVote::sign(&pairs[0], None, View(2)),
+            SignedVote::sign(&pairs[1], None, View(2)),
+        ];
+        roundtrip(&ProgressCert::Naive(votes));
+    }
+
+    #[test]
+    fn bounded_cert_size_is_constant_in_view() {
+        let (_, pairs, _) = setup();
+        let x = Value::from_u64(1);
+        let size_at = |v: View| {
+            let set: SignatureSet = pairs[..2]
+                .iter()
+                .map(|p| p.sign(&certack_payload(&x, v)))
+                .collect();
+            ProgressCert::Bounded(set).wire_size()
+        };
+        assert_eq!(size_at(View(2)), size_at(View(2_000_000)));
+    }
+}

@@ -1,0 +1,111 @@
+//! Canonical byte strings for every signed statement in the protocol.
+//!
+//! The paper signs tuples like `(propose, x, v)`; here each tuple becomes a
+//! domain-separated canonical byte string. Domain separation bytes guarantee
+//! that a signature over one statement kind can never be replayed as another
+//! (e.g. an ack share can't pose as a CertAck), and including the view binds
+//! every statement to its view, which is what makes vote replay across views
+//! impossible (§3.2).
+
+use fastbft_types::wire::Encode;
+use fastbft_types::{Value, View};
+
+/// Domain tags for signed statements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+enum Domain {
+    /// `(propose, x, v)` — signed by `leader(v)`; the paper's `τ`.
+    Propose = 1,
+    /// `(vote, vote, v)` — signed by the voter; the paper's `φ_vote`.
+    Vote = 2,
+    /// `(CertAck, x, v)` — signed by certifiers; the paper's `φ_ca`.
+    CertAck = 3,
+    /// `(ack, x, v)` — the slow-path signature share; the paper's `φ_ack`.
+    Ack = 4,
+}
+
+fn tagged(domain: Domain, build: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+    let mut buf = vec![domain as u8];
+    build(&mut buf);
+    buf
+}
+
+/// Bytes of the statement `(propose, x, v)` (signed by `leader(v)` → `τ`).
+pub fn propose_payload(x: &Value, v: View) -> Vec<u8> {
+    tagged(Domain::Propose, |buf| {
+        x.encode(buf);
+        v.encode(buf);
+    })
+}
+
+/// Bytes of the statement `(vote, vote_bytes, v)` (signed by the voter →
+/// `φ_vote`). `vote_bytes` is the canonical encoding of the vote
+/// (`Option<VoteData>`), produced by the caller; this function is kept
+/// byte-oriented to avoid a circular dependency with the vote types.
+pub fn vote_payload(vote_bytes: &[u8], v: View) -> Vec<u8> {
+    tagged(Domain::Vote, |buf| {
+        vote_bytes.encode(buf);
+        v.encode(buf);
+    })
+}
+
+/// Bytes of the statement `(CertAck, x, v)` (signed by certifiers → `φ_ca`;
+/// `f + 1` of these form a progress certificate).
+pub fn certack_payload(x: &Value, v: View) -> Vec<u8> {
+    tagged(Domain::CertAck, |buf| {
+        x.encode(buf);
+        v.encode(buf);
+    })
+}
+
+/// Bytes of the statement `(ack, x, v)` (signed share sent alongside each
+/// ack; `⌈(n+f+1)/2⌉` of these form a commit certificate, Appendix A).
+pub fn ack_payload(x: &Value, v: View) -> Vec<u8> {
+    tagged(Domain::Ack, |buf| {
+        x.encode(buf);
+        v.encode(buf);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_never_collide() {
+        let x = Value::from_u64(7);
+        let v = View(3);
+        let payloads = [
+            propose_payload(&x, v),
+            certack_payload(&x, v),
+            ack_payload(&x, v),
+            vote_payload(&x.as_bytes().to_vec().to_wire_bytes(), v),
+        ];
+        for i in 0..payloads.len() {
+            for j in i + 1..payloads.len() {
+                assert_ne!(payloads[i], payloads[j], "payloads {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn payloads_bind_value_and_view() {
+        let x = Value::from_u64(7);
+        let y = Value::from_u64(8);
+        assert_ne!(propose_payload(&x, View(1)), propose_payload(&y, View(1)));
+        assert_ne!(propose_payload(&x, View(1)), propose_payload(&x, View(2)));
+        assert_ne!(ack_payload(&x, View(1)), ack_payload(&x, View(2)));
+        assert_ne!(certack_payload(&x, View(1)), certack_payload(&y, View(1)));
+    }
+
+    #[test]
+    fn vote_payload_binds_destination_view() {
+        // The same vote sent to leaders of different views signs different
+        // bytes — the cross-view replay defence.
+        let vote_bytes = vec![1u8, 2, 3];
+        assert_ne!(
+            vote_payload(&vote_bytes, View(5)),
+            vote_payload(&vote_bytes, View(6))
+        );
+    }
+}

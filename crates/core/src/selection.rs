@@ -1,0 +1,478 @@
+//! The selection algorithm (§3.2, generalized per Appendix A.2).
+//!
+//! Given the votes collected during a view change, decide which value is
+//! safe to propose. This is a *pure function* over an already-validated vote
+//! set so that
+//!
+//! 1. the new leader can run it incrementally as votes arrive,
+//! 2. every CertRequest verifier re-runs it bit-for-bit (§3.2: "simulating
+//!    the selection process locally on the given set of votes"),
+//! 3. the naive-certificate verifier and the property tests can fuzz it in
+//!    isolation.
+//!
+//! **Callers must validate votes first** ([`SignedVote::is_valid`]); the
+//! function trusts its input. Both the leader and the verifiers do so.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fastbft_types::{Config, ProcessId, Value, View};
+
+use crate::certs::SignedVote;
+
+/// What the selection concluded about safe values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Exactly this value is safe to propose.
+    Constrained(Value),
+    /// Any value is safe (the leader proposes its own input).
+    Free,
+}
+
+/// Why the outcome is what it is — used by tests (to mirror the paper's
+/// Lemmas 3.1–3.5 case analysis) and by trace explanations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rationale {
+    /// All `n − f` votes were nil (Lemma 3.1): any value is safe.
+    AllNil,
+    /// A single value was voted at the highest view `w` and `leader(w)` is
+    /// not a proven equivocator (Lemma 3.3).
+    SingleValueAtW,
+    /// Equivocation detected; a commit certificate for view `w` pinned the
+    /// value (Appendix A.2 case 1).
+    CommitCertAtW,
+    /// Equivocation detected; `f + t` votes for one value at `w` pinned it
+    /// (§3.2 case 1 / Appendix A.2 case 2; Lemma 3.4).
+    QuorumAtW,
+    /// Equivocation detected and nothing pinned a value: no value can have
+    /// been decided at or below `w` (Lemma 3.5 / Appendix A.2 case 3).
+    NoEvidence,
+}
+
+/// Result of a completed selection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectionResult {
+    /// The safe value (or freedom to choose).
+    pub outcome: Outcome,
+    /// Why.
+    pub rationale: Rationale,
+    /// The highest view seen in a (non-excluded) valid vote, if any.
+    pub w: Option<View>,
+    /// Processes excluded as proven equivocators during the run.
+    pub excluded: BTreeSet<ProcessId>,
+}
+
+/// Selection could not complete yet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelectionError {
+    /// After excluding proven equivocators, fewer than `n − f` votes remain;
+    /// the leader must wait for more votes from non-excluded processes
+    /// (§3.2: "the leader may need to wait for exactly one more vote").
+    NeedMoreVotes {
+        /// The proven equivocators so far.
+        excluded: BTreeSet<ProcessId>,
+        /// Valid votes currently usable.
+        have: usize,
+        /// Votes required (`n − f`).
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for SelectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectionError::NeedMoreVotes { have, need, excluded } => write!(
+                f,
+                "need {need} votes from non-equivocators, have {have} ({} excluded)",
+                excluded.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SelectionError {}
+
+/// Runs the selection algorithm for a view change into `dest_view` over
+/// `votes` (keyed by voter; **already validated** against `dest_view`).
+///
+/// # Errors
+///
+/// [`SelectionError::NeedMoreVotes`] if, after excluding proven
+/// equivocators, fewer than `n − f` usable votes remain.
+pub fn select(
+    cfg: &Config,
+    dest_view: View,
+    votes: &BTreeMap<ProcessId, SignedVote>,
+) -> Result<SelectionResult, SelectionError> {
+    let mut excluded: BTreeSet<ProcessId> = BTreeSet::new();
+    debug_assert!(votes.values().all(|sv| sv.vote.as_ref().is_none_or(|vd| vd.view < dest_view)));
+
+    loop {
+        let active: Vec<&SignedVote> = votes
+            .iter()
+            .filter(|(p, _)| !excluded.contains(*p))
+            .map(|(_, sv)| sv)
+            .collect();
+
+        if active.len() < cfg.vote_quorum() {
+            return Err(SelectionError::NeedMoreVotes {
+                excluded,
+                have: active.len(),
+                need: cfg.vote_quorum(),
+            });
+        }
+
+        // Lemma 3.1: all-nil — any value is safe.
+        let non_nil: Vec<(&ProcessId, &crate::certs::VoteData)> = votes
+            .iter()
+            .filter(|(p, _)| !excluded.contains(*p))
+            .filter_map(|(p, sv)| sv.vote.as_ref().map(|vd| (p, vd)))
+            .collect();
+        let Some(w) = non_nil.iter().map(|(_, vd)| vd.view).max() else {
+            return Ok(SelectionResult {
+                outcome: Outcome::Free,
+                rationale: Rationale::AllNil,
+                w: None,
+                excluded,
+            });
+        };
+
+        // Values voted at the highest view w.
+        let mut values_at_w: Vec<&Value> = Vec::new();
+        for (_, vd) in non_nil.iter().filter(|(_, vd)| vd.view == w) {
+            if !values_at_w.contains(&&vd.value) {
+                values_at_w.push(&vd.value);
+            }
+        }
+
+        let equivocator = cfg.leader(w);
+        if values_at_w.len() >= 2 && !excluded.contains(&equivocator) {
+            // Two valid votes for different values in the same view w: the
+            // τ signatures inside them are undeniable evidence that
+            // leader(w) equivocated. Exclude its vote and restart — the
+            // restart recomputes w, because dropping the equivocator's vote
+            // (or waiting for replacements) can change the maximum.
+            excluded.insert(equivocator);
+            continue;
+        }
+
+        if !excluded.contains(&equivocator) {
+            // No equivocation at w: exactly one value is voted at w
+            // (values_at_w.len() == 1 here), and it is safe (Lemma 3.3).
+            let x = values_at_w[0].clone();
+            return Ok(SelectionResult {
+                outcome: Outcome::Constrained(x),
+                rationale: Rationale::SingleValueAtW,
+                w: Some(w),
+                excluded,
+            });
+        }
+
+        // Equivocation path: leader(w) is excluded and we hold ≥ n − f votes
+        // from other processes (votes′ in the paper's notation).
+
+        // Appendix A.2 case 1: a commit certificate for view w pins the value.
+        if let Some(cc) = non_nil
+            .iter()
+            .filter_map(|(_, vd)| vd.commit_cert.as_ref())
+            .find(|cc| cc.view == w)
+        {
+            return Ok(SelectionResult {
+                outcome: Outcome::Constrained(cc.value.clone()),
+                rationale: Rationale::CommitCertAtW,
+                w: Some(w),
+                excluded,
+            });
+        }
+
+        // §3.2 case 1 / Appendix A.2 case 2: f + t votes for one value at w.
+        let mut counts: BTreeMap<&Value, usize> = BTreeMap::new();
+        for (_, vd) in non_nil.iter().filter(|(_, vd)| vd.view == w) {
+            *counts.entry(&vd.value).or_insert(0) += 1;
+        }
+        if let Some((x, _)) = counts
+            .iter()
+            .find(|(_, c)| **c >= cfg.selection_quorum())
+        {
+            return Ok(SelectionResult {
+                outcome: Outcome::Constrained((*x).clone()),
+                rationale: Rationale::QuorumAtW,
+                w: Some(w),
+                excluded,
+            });
+        }
+
+        // §3.2 case 2 / Appendix A.2 case 3: nothing pinned a value, so no
+        // value was or will be decided in any view ≤ w (Lemma 3.5).
+        return Ok(SelectionResult {
+            outcome: Outcome::Free,
+            rationale: Rationale::NoEvidence,
+            w: Some(w),
+            excluded,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certs::{CommitCert, ProgressCert, VoteData};
+    use fastbft_crypto::{Signature, SignatureSet};
+
+    /// Test fixture: votes are hand-built (selection trusts its input, so
+    /// dummy signatures suffice — validation is certs.rs's job and is tested
+    /// there).
+    fn dummy_sig(p: ProcessId) -> Signature {
+        Signature::from_parts(p, [0u8; 32])
+    }
+
+    fn nil_vote(p: u32) -> (ProcessId, SignedVote) {
+        let p = ProcessId(p);
+        (
+            p,
+            SignedVote {
+                voter: p,
+                vote: None,
+                sig: dummy_sig(p),
+            },
+        )
+    }
+
+    fn vote(p: u32, value: u64, view: u64) -> (ProcessId, SignedVote) {
+        vote_with_cc(p, value, view, None)
+    }
+
+    fn vote_with_cc(
+        p: u32,
+        value: u64,
+        view: u64,
+        cc: Option<(u64, u64)>, // (value, view)
+    ) -> (ProcessId, SignedVote) {
+        let p = ProcessId(p);
+        (
+            p,
+            SignedVote {
+                voter: p,
+                vote: Some(VoteData {
+                    value: Value::from_u64(value),
+                    view: View(view),
+                    progress_cert: ProgressCert::Genesis,
+                    leader_sig: dummy_sig(p),
+                    commit_cert: cc.map(|(v, u)| CommitCert {
+                        value: Value::from_u64(v),
+                        view: View(u),
+                        sigs: SignatureSet::new(),
+                    }),
+                }),
+                sig: dummy_sig(p),
+            },
+        )
+    }
+
+    fn cfg_n4() -> Config {
+        Config::new(4, 1, 1).unwrap() // vote quorum 3, selection quorum 2
+    }
+
+    /// n = 9, f = t = 2 (vanilla 5f−1): vote quorum 7, selection quorum 4.
+    fn cfg_n9() -> Config {
+        Config::vanilla(9, 2).unwrap()
+    }
+
+    #[test]
+    fn all_nil_is_free() {
+        let votes: BTreeMap<_, _> = [nil_vote(1), nil_vote(2), nil_vote(3)].into();
+        let r = select(&cfg_n4(), View(2), &votes).unwrap();
+        assert_eq!(r.outcome, Outcome::Free);
+        assert_eq!(r.rationale, Rationale::AllNil);
+        assert_eq!(r.w, None);
+    }
+
+    #[test]
+    fn too_few_votes_errors() {
+        let votes: BTreeMap<_, _> = [nil_vote(1), nil_vote(2)].into();
+        let err = select(&cfg_n4(), View(2), &votes).unwrap_err();
+        assert_eq!(
+            err,
+            SelectionError::NeedMoreVotes {
+                excluded: BTreeSet::new(),
+                have: 2,
+                need: 3
+            }
+        );
+    }
+
+    #[test]
+    fn single_value_at_w_is_selected() {
+        // One vote for 7 at view 1, others nil → 7 is pinned (Lemma 3.3).
+        let votes: BTreeMap<_, _> = [vote(1, 7, 1), nil_vote(2), nil_vote(3)].into();
+        let r = select(&cfg_n4(), View(2), &votes).unwrap();
+        assert_eq!(r.outcome, Outcome::Constrained(Value::from_u64(7)));
+        assert_eq!(r.rationale, Rationale::SingleValueAtW);
+        assert_eq!(r.w, Some(View(1)));
+    }
+
+    #[test]
+    fn highest_view_wins() {
+        let votes: BTreeMap<_, _> = [vote(1, 7, 1), vote(2, 9, 3), nil_vote(3)].into();
+        let r = select(&cfg_n4(), View(4), &votes).unwrap();
+        assert_eq!(r.outcome, Outcome::Constrained(Value::from_u64(9)));
+        assert_eq!(r.w, Some(View(3)));
+    }
+
+    #[test]
+    fn equivocation_then_need_more_votes() {
+        // Two values at view 1 prove leader(1) = p2 equivocated. Excluding
+        // p2's vote leaves only 2 of the required 3 votes.
+        let votes: BTreeMap<_, _> = [vote(1, 7, 1), vote(2, 8, 1), nil_vote(3)].into();
+        let err = select(&cfg_n4(), View(2), &votes).unwrap_err();
+        match err {
+            SelectionError::NeedMoreVotes { excluded, have, need } => {
+                assert!(excluded.contains(&ProcessId(2)));
+                assert_eq!((have, need), (2, 3));
+            }
+        }
+    }
+
+    #[test]
+    fn equivocation_with_quorum_pins_value() {
+        // n = 9, f = t = 2: selection quorum = 4. leader(1) = p2 equivocated;
+        // 4 votes for value 7 at view 1 from non-p2 processes pin 7
+        // (Lemma 3.4).
+        let votes: BTreeMap<_, _> = [
+            vote(1, 7, 1),
+            vote(2, 8, 1), // equivocator's own vote (leader(1) = p2)
+            vote(3, 7, 1),
+            vote(4, 7, 1),
+            vote(5, 7, 1),
+            nil_vote(6),
+            nil_vote(7),
+            nil_vote(8),
+        ]
+        .into();
+        let r = select(&cfg_n9(), View(2), &votes).unwrap();
+        assert_eq!(r.outcome, Outcome::Constrained(Value::from_u64(7)));
+        assert_eq!(r.rationale, Rationale::QuorumAtW);
+        assert!(r.excluded.contains(&ProcessId(2)));
+    }
+
+    #[test]
+    fn equivocation_without_quorum_is_free() {
+        // Lemma 3.5: equivocation, no value reaches f + t = 4 votes → free.
+        let votes: BTreeMap<_, _> = [
+            vote(1, 7, 1),
+            vote(2, 8, 1),
+            vote(3, 7, 1),
+            vote(4, 8, 1),
+            nil_vote(5),
+            nil_vote(6),
+            nil_vote(7),
+            nil_vote(8),
+        ]
+        .into();
+        let r = select(&cfg_n9(), View(2), &votes).unwrap();
+        assert_eq!(r.outcome, Outcome::Free);
+        assert_eq!(r.rationale, Rationale::NoEvidence);
+    }
+
+    #[test]
+    fn equivocation_with_commit_cert_pins_value() {
+        // Appendix A.2 case 1: a commit certificate for view w beats vote
+        // counting. Even though 8 has more votes, the cc pins 7.
+        let votes: BTreeMap<_, _> = [
+            vote_with_cc(1, 7, 1, Some((7, 1))),
+            vote(2, 8, 1),
+            vote(3, 8, 1),
+            vote(4, 8, 1),
+            vote(5, 8, 1),
+            nil_vote(6),
+            nil_vote(7),
+            nil_vote(8),
+        ]
+        .into();
+        let r = select(&cfg_n9(), View(2), &votes).unwrap();
+        assert_eq!(r.outcome, Outcome::Constrained(Value::from_u64(7)));
+        assert_eq!(r.rationale, Rationale::CommitCertAtW);
+    }
+
+    #[test]
+    fn stale_commit_cert_does_not_pin() {
+        // A cc from a view below w is not case-1 evidence.
+        let votes: BTreeMap<_, _> = [
+            vote_with_cc(1, 7, 2, Some((9, 1))),
+            nil_vote(2),
+            nil_vote(3),
+        ]
+        .into();
+        let r = select(&cfg_n4(), View(3), &votes).unwrap();
+        assert_eq!(r.outcome, Outcome::Constrained(Value::from_u64(7)));
+        assert_eq!(r.rationale, Rationale::SingleValueAtW);
+    }
+
+    #[test]
+    fn exclusion_can_lower_w_and_restart() {
+        // p2 = leader(1) equivocates at view 1 via votes of p1/p2. After
+        // excluding p2, the remaining votes still include two values at
+        // view 1 (from p1 and p4) — but the equivocator is already excluded,
+        // so the case analysis proceeds at w = 1.
+        let votes: BTreeMap<_, _> = [
+            vote(1, 7, 1),
+            vote(2, 8, 1),
+            vote(4, 8, 1),
+            nil_vote(3),
+        ]
+        .into();
+        let r = select(&cfg_n4(), View(2), &votes).unwrap();
+        // selection quorum (f + t = 2): value 8 has 2 votes (p2 excluded →
+        // p4 only)… p4's single vote is not enough; value 7 has 1. Free.
+        assert_eq!(r.outcome, Outcome::Free);
+        assert!(r.excluded.contains(&ProcessId(2)));
+    }
+
+    #[test]
+    fn restart_when_exclusion_reveals_higher_view() {
+        // Votes: equivocation at view 2 (leader(2) = p3); excluding p3's
+        // vote, remaining at w=2: p1 votes 7. Case analysis at w = 2 with 1
+        // vote < quorum → Free. The cc check and counting happen at the new
+        // active set.
+        let votes: BTreeMap<_, _> = [
+            vote(1, 7, 2),
+            vote(3, 8, 2),
+            vote(4, 5, 1),
+            nil_vote(2),
+        ]
+        .into();
+        let r = select(&cfg_n4(), View(3), &votes).unwrap();
+        assert!(r.excluded.contains(&ProcessId(3)));
+        assert_eq!(r.w, Some(View(2)));
+        assert_eq!(r.outcome, Outcome::Free);
+    }
+
+    #[test]
+    fn selection_is_deterministic_under_insertion_order() {
+        let mk = |order: &[u32]| {
+            let mut votes = BTreeMap::new();
+            for &p in order {
+                let (k, v) = match p {
+                    1 => vote(1, 7, 1),
+                    2 => vote(2, 8, 1),
+                    3 => vote(3, 7, 1),
+                    _ => nil_vote(p),
+                };
+                votes.insert(k, v);
+            }
+            select(&cfg_n4(), View(2), &votes).unwrap()
+        };
+        let a = mk(&[1, 2, 3, 4]);
+        let b = mk(&[4, 3, 2, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let err = SelectionError::NeedMoreVotes {
+            excluded: BTreeSet::new(),
+            have: 1,
+            need: 3,
+        };
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! The paper's boundary discussions (§4.3, §4.4), as executable claims.
+//!
+//! Nothing here runs in the protocol; this module pins down the *shape* of
+//! the theory so regressions in the arithmetic are caught by tests, and the
+//! narrative is browsable in rustdoc next to the code it governs.
+//!
+//! # §4.3 — weakening the two-step assumption
+//!
+//! The lower bound assumes a `T`-faulty two-step execution exists for every
+//! `t`-subset `T ⊂ Π`. Protocols whose fast path depends on specific
+//! processes (beyond round 1) are covered by restricting `T` to a suspect
+//! set `M` with `|M| ≥ 2t + 2` — the proof of Lemma 4.4 then needs
+//! `|M \ ({p_j, p_{j−1}} ∪ T_1)| ≥ t`, i.e. `|M| ≥ 2t + 2`
+//! ([`min_suspect_set`]). Since `n ≥ 3f + 1 ≥ 2t + 3` whenever `f ≥ 2`,
+//! there is always at least one non-suspect process.
+//!
+//! # §4.4 — why FaB's bound is right *for split roles*
+//!
+//! The equivocation-exclusion trick requires the proposer (whose signature
+//! is the evidence) to also be an acceptor (whose vote gets excluded). With
+//! proposers disjoint from acceptors, the influential process `p` is not an
+//! acceptor: the five-group partition loses the `{p}` cell and the groups
+//! `P2, P3, P4` grow from `f − 1` to `f`, pushing the impossibility to
+//! `n = |P1| + … + |P5| = 3f + 2t` acceptors — making FaB's `3f + 2t + 1`
+//! optimal in that model ([`split_role_bound`]).
+
+use fastbft_types::Config;
+
+/// Minimum size of the suspect set `M` for the §4.3 relaxation: `2t + 2`.
+pub fn min_suspect_set(t: usize) -> usize {
+    2 * t + 2
+}
+
+/// The §4.4 lower bound for proposer/acceptor-split protocols:
+/// `3f + 2t + 1` acceptors (the group sizes `t + f + f + f + t`, plus one
+/// to break the impossibility at `3f + 2t`).
+pub fn split_role_bound(f: usize, t: usize) -> usize {
+    3 * f + 2 * t + 1
+}
+
+/// The integrated-role bound this paper proves tight:
+/// `max(3f + 2t − 1, 3f + 1)`.
+pub fn integrated_role_bound(f: usize, t: usize) -> usize {
+    Config::min_n(f, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbft_types::ProtocolKind;
+
+    /// §4.3: some non-suspect always exists when f ≥ 2.
+    #[test]
+    fn non_suspect_exists() {
+        for f in 2..=8 {
+            for t in 1..=f {
+                let n = integrated_role_bound(f, t);
+                assert!(
+                    n > min_suspect_set(t),
+                    "f={f}, t={t}: n={n} leaves no non-suspect"
+                );
+            }
+        }
+    }
+
+    /// §4.4: the split-role bound is FaB's bound, and exceeds the
+    /// integrated-role bound by exactly 2 (for t ≥ 1).
+    #[test]
+    fn split_vs_integrated_gap_is_two() {
+        for f in 1..=8 {
+            for t in 1..=f {
+                assert_eq!(split_role_bound(f, t), ProtocolKind::FabPaxos.min_n(f, t));
+                assert_eq!(
+                    split_role_bound(f, t) - integrated_role_bound(f, t),
+                    2,
+                    "f={f}, t={t}"
+                );
+            }
+        }
+    }
+
+    /// The impossibility frontier: the executable attack (lower_bound
+    /// module) runs at integrated_role_bound − 1.
+    #[test]
+    fn attack_size_sits_one_below_the_bound() {
+        assert_eq!(
+            crate::lower_bound::below_bound_n() + 1,
+            integrated_role_bound(2, 2)
+        );
+        assert_eq!(crate::lower_bound::at_bound_n(), integrated_role_bound(2, 2));
+    }
+}

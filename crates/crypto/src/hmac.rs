@@ -1,0 +1,157 @@
+//! HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors.
+
+use crate::sha256::Sha256;
+use crate::Digest;
+
+const BLOCK_SIZE: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte block size are first hashed, per RFC 2104.
+///
+/// ```
+/// use fastbft_crypto::hmac::hmac_sha256;
+/// let tag = hmac_sha256(b"key", b"message");
+/// assert_eq!(tag.len(), 32);
+/// assert_ne!(tag, hmac_sha256(b"other key", b"message"));
+/// ```
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut key_block = [0u8; BLOCK_SIZE];
+    if key.len() > BLOCK_SIZE {
+        key_block[..32].copy_from_slice(&Sha256::digest(key));
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ IPAD).collect();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = key_block.iter().map(|b| b ^ OPAD).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time equality for digests.
+///
+/// Not strictly needed inside a simulator, but signature verification should
+/// not acquire data-dependent timing if this code is ever lifted into a real
+/// deployment.
+pub fn digest_eq(a: &Digest, b: &Digest) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 4231, test case 1.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    /// RFC 4231, test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    /// RFC 4231, test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    /// RFC 4231, test case 4 (incrementing key, 0xcd data).
+    #[test]
+    fn rfc4231_case_4() {
+        let key: Vec<u8> = (1..=25).collect();
+        let data = [0xcd; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+        );
+    }
+
+    /// RFC 4231, test case 6 (131-byte key: hashed-key path).
+    #[test]
+    fn rfc4231_case_6() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    /// RFC 4231, test case 7 (large key and large data).
+    #[test]
+    fn rfc4231_case_7() {
+        let key = [0xaa; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        assert_eq!(
+            hex(&hmac_sha256(&key, msg)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let m = b"same message";
+        assert_ne!(hmac_sha256(b"k1", m), hmac_sha256(b"k2", m));
+    }
+
+    #[test]
+    fn message_sensitivity() {
+        let k = b"same key";
+        assert_ne!(hmac_sha256(k, b"m1"), hmac_sha256(k, b"m2"));
+    }
+
+    #[test]
+    fn exactly_block_sized_key() {
+        let key = [0x42; 64];
+        // Must not take the hashed-key path: compare against a manual
+        // computation with the padded key.
+        let tag = hmac_sha256(&key, b"msg");
+        assert_eq!(tag, hmac_sha256(&key[..], b"msg"));
+        assert_ne!(tag, hmac_sha256(&[0x42; 63][..], b"msg"));
+    }
+
+    #[test]
+    fn digest_eq_works() {
+        let a = hmac_sha256(b"k", b"m");
+        let mut b = a;
+        assert!(digest_eq(&a, &b));
+        b[31] ^= 1;
+        assert!(!digest_eq(&a, &b));
+    }
+}

@@ -1,0 +1,210 @@
+//! Multi-signer signature collections.
+//!
+//! Progress certificates (`f + 1` CertAck signatures, §3.2) and commit
+//! certificates (`⌈(n+f+1)/2⌉` ack signatures, Appendix A) are both "at
+//! least `k` signatures from *distinct* processes over the same bytes".
+//! [`SignatureSet`] captures that shape once.
+
+use std::collections::BTreeMap;
+
+use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
+use fastbft_types::ProcessId;
+
+use crate::{KeyDirectory, Signature};
+
+/// A set of signatures by distinct signers, intended to certify a single
+/// logical statement (the caller supplies the statement bytes at
+/// verification time).
+///
+/// Duplicate signers are coalesced on insert — a Byzantine process cannot
+/// inflate a certificate by signing twice.
+///
+/// ```
+/// use fastbft_crypto::{KeyDirectory, SignatureSet};
+///
+/// let (pairs, dir) = KeyDirectory::generate(4, 1);
+/// let mut set = SignatureSet::new();
+/// for p in &pairs[..3] {
+///     set.insert(p.sign(b"statement"));
+/// }
+/// assert_eq!(set.len(), 3);
+/// assert!(set.verify(b"statement", &dir, 3));
+/// assert!(!set.verify(b"statement", &dir, 4)); // threshold not met
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SignatureSet {
+    sigs: BTreeMap<ProcessId, Signature>,
+}
+
+impl SignatureSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        SignatureSet::default()
+    }
+
+    /// Builds a set from an iterator of signatures (later duplicates of the
+    /// same signer are ignored).
+    pub fn from_signatures(sigs: impl IntoIterator<Item = Signature>) -> Self {
+        let mut set = SignatureSet::new();
+        for s in sigs {
+            set.insert(s);
+        }
+        set
+    }
+
+    /// Inserts a signature. Returns `true` if the signer was new.
+    pub fn insert(&mut self, sig: Signature) -> bool {
+        match self.sigs.entry(sig.signer) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(sig);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Number of distinct signers.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Whether `signer` contributed a signature.
+    pub fn contains(&self, signer: ProcessId) -> bool {
+        self.sigs.contains_key(&signer)
+    }
+
+    /// Iterator over the signers, in id order.
+    pub fn signers(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.sigs.keys().copied()
+    }
+
+    /// Iterator over the signatures, in signer order.
+    pub fn iter(&self) -> impl Iterator<Item = &Signature> {
+        self.sigs.values()
+    }
+
+    /// Verifies the certificate: at least `threshold` distinct signers, every
+    /// signature valid over `statement`.
+    pub fn verify(&self, statement: &[u8], directory: &KeyDirectory, threshold: usize) -> bool {
+        self.len() >= threshold && directory.verify_all(statement, self.sigs.values())
+    }
+
+    /// Size of the certificate on the wire, in bytes.
+    pub fn wire_size(&self) -> usize {
+        4 + self.len() * Signature::WIRE_SIZE
+    }
+}
+
+impl FromIterator<Signature> for SignatureSet {
+    fn from_iter<I: IntoIterator<Item = Signature>>(iter: I) -> Self {
+        SignatureSet::from_signatures(iter)
+    }
+}
+
+impl Extend<Signature> for SignatureSet {
+    fn extend<I: IntoIterator<Item = Signature>>(&mut self, iter: I) {
+        for s in iter {
+            self.insert(s);
+        }
+    }
+}
+
+impl Encode for SignatureSet {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.sigs.len() as u32).encode(buf);
+        for sig in self.sigs.values() {
+            sig.encode(buf);
+        }
+    }
+}
+
+impl Decode for SignatureSet {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_len()?;
+        let mut set = SignatureSet::new();
+        for _ in 0..len {
+            let sig = Signature::decode(r)?;
+            if !set.insert(sig) {
+                // Canonical encodings never contain duplicate signers.
+                return Err(WireError::Invalid("duplicate signer in signature set"));
+            }
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbft_types::wire::{from_bytes, roundtrip, to_bytes};
+
+    fn setup() -> (Vec<crate::KeyPair>, KeyDirectory) {
+        KeyDirectory::generate(5, 11)
+    }
+
+    #[test]
+    fn duplicate_signers_coalesce() {
+        let (pairs, _) = setup();
+        let mut set = SignatureSet::new();
+        assert!(set.insert(pairs[0].sign(b"s")));
+        assert!(!set.insert(pairs[0].sign(b"s")));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn threshold_verification() {
+        let (pairs, dir) = setup();
+        let set: SignatureSet = pairs.iter().take(3).map(|p| p.sign(b"s")).collect();
+        assert!(set.verify(b"s", &dir, 1));
+        assert!(set.verify(b"s", &dir, 3));
+        assert!(!set.verify(b"s", &dir, 4));
+        assert!(!set.verify(b"different", &dir, 3));
+    }
+
+    #[test]
+    fn one_bad_signature_fails_whole_cert() {
+        let (pairs, dir) = setup();
+        let mut set: SignatureSet = pairs.iter().take(2).map(|p| p.sign(b"s")).collect();
+        // p3 signs the wrong statement.
+        set.insert(pairs[2].sign(b"not s"));
+        assert_eq!(set.len(), 3);
+        assert!(!set.verify(b"s", &dir, 3));
+    }
+
+    #[test]
+    fn wire_roundtrip_and_size() {
+        let (pairs, _) = setup();
+        let set: SignatureSet = pairs.iter().map(|p| p.sign(b"s")).collect();
+        roundtrip(&set);
+        assert_eq!(to_bytes(&set).len(), set.wire_size());
+        roundtrip(&SignatureSet::new());
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_signers() {
+        let (pairs, _) = setup();
+        let sig = pairs[0].sign(b"s");
+        let mut buf = Vec::new();
+        2u32.encode(&mut buf);
+        sig.encode(&mut buf);
+        sig.encode(&mut buf);
+        assert!(matches!(
+            from_bytes::<SignatureSet>(&buf),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn signers_in_order() {
+        let (pairs, _) = setup();
+        let set: SignatureSet =
+            [&pairs[3], &pairs[0], &pairs[2]].iter().map(|p| p.sign(b"s")).collect();
+        let signers: Vec<u32> = set.signers().map(|p| p.0).collect();
+        assert_eq!(signers, vec![1, 3, 4]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Thread-per-replica cluster over crossbeam channels.
+//!
+//! The same [`Actor`] implementations that run under the discrete-event
+//! simulator run here against the wall clock: each replica gets an OS
+//! thread, channels play the reliable authenticated point-to-point links
+//! (the sender id is attached by the runtime, not the sender — a process
+//! cannot spoof its identity), and timer requests are served from a local
+//! timer heap.
+//!
+//! This is the "it is not simulator-only" proof and the engine behind the
+//! wall-clock benchmarks (E9).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use fastbft_sim::{Actor, Effects, SimMessage, SimTime, TimerId};
+use fastbft_types::{ProcessId, Value};
+
+/// What travels between replica threads.
+enum Envelope<M> {
+    /// A protocol message from a peer (sender attached by the runtime).
+    Peer(ProcessId, M),
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// A decision reported by a replica thread.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decision {
+    /// The deciding process.
+    pub process: ProcessId,
+    /// The decided value.
+    pub value: Value,
+    /// Wall-clock time from cluster start to the decision.
+    pub elapsed: Duration,
+}
+
+/// Handle to a running cluster.
+pub struct ClusterHandle<M> {
+    senders: Vec<Sender<Envelope<M>>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    decisions: Receiver<Decision>,
+}
+
+/// Spawns one thread per actor. `tick` converts the protocol's abstract
+/// [`fastbft_sim::SimDuration`] ticks into wall time (timers only — message
+/// transport is as fast as the channels go).
+pub fn spawn<M: SimMessage>(
+    actors: Vec<Box<dyn Actor<M> + Send>>,
+    tick: Duration,
+) -> ClusterHandle<M> {
+    type Link<M> = (Sender<Envelope<M>>, Receiver<Envelope<M>>);
+    let n = actors.len();
+    let channels: Vec<Link<M>> = (0..n).map(|_| unbounded()).collect();
+    let senders: Vec<Sender<Envelope<M>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+    let (decisions_tx, decisions_rx) = unbounded::<Decision>();
+    let start = Instant::now();
+
+    let mut threads = Vec::with_capacity(n);
+    for (i, mut actor) in actors.into_iter().enumerate() {
+        let id = ProcessId::from_index(i);
+        let rx = channels[i].1.clone();
+        let peers = senders.clone();
+        let decisions_tx = decisions_tx.clone();
+        threads.push(std::thread::spawn(move || {
+            run_node(&mut *actor, id, n, rx, peers, decisions_tx, start, tick);
+        }));
+    }
+
+    ClusterHandle {
+        senders,
+        threads,
+        decisions: decisions_rx,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_node<M: SimMessage>(
+    actor: &mut dyn Actor<M>,
+    id: ProcessId,
+    n: usize,
+    rx: Receiver<Envelope<M>>,
+    peers: Vec<Sender<Envelope<M>>>,
+    decisions: Sender<Decision>,
+    start: Instant,
+    tick: Duration,
+) {
+    let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+    let mut decided = false;
+
+    let now_ticks = |start: Instant| -> SimTime {
+        let ticks = if tick.is_zero() {
+            0
+        } else {
+            (start.elapsed().as_nanos() / tick.as_nanos().max(1)) as u64
+        };
+        SimTime(ticks)
+    };
+
+    // Effect application shared by all three callbacks.
+    macro_rules! apply {
+        ($fx:expr) => {{
+            let fx = $fx;
+            for (to, msg) in fx.sent() {
+                // A send to a stopped peer is fine; ignore the error.
+                let _ = peers[to.index()].send(Envelope::Peer(id, msg.clone()));
+            }
+            for (delay, timer) in fx.timers_set() {
+                let deadline = Instant::now() + tick.saturating_mul(delay.0.min(u32::MAX as u64) as u32);
+                timers.push(Reverse((deadline, timer.0)));
+            }
+            if let Some(value) = fx.decision_made() {
+                if !decided {
+                    decided = true;
+                    let _ = decisions.send(Decision {
+                        process: id,
+                        value: value.clone(),
+                        elapsed: start.elapsed(),
+                    });
+                }
+            }
+        }};
+    }
+
+    let mut fx = Effects::new(id, n, now_ticks(start));
+    actor.on_start(&mut fx);
+    apply!(&fx);
+
+    loop {
+        // Fire due timers.
+        let now = Instant::now();
+        while let Some(Reverse((deadline, timer))) = timers.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            timers.pop();
+            let mut fx = Effects::new(id, n, now_ticks(start));
+            actor.on_timer(TimerId(timer), &mut fx);
+            apply!(&fx);
+        }
+        // Wait for the next message or timer deadline.
+        let result = match timers.peek() {
+            Some(Reverse((deadline, _))) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(env) => Some(env),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match rx.recv() {
+                Ok(env) => Some(env),
+                Err(_) => break,
+            },
+        };
+        match result {
+            Some(Envelope::Peer(from, msg)) => {
+                let mut fx = Effects::new(id, n, now_ticks(start));
+                actor.on_message(from, msg, &mut fx);
+                apply!(&fx);
+            }
+            Some(Envelope::Shutdown) => break,
+            None => {} // timer loop handles it on the next iteration
+        }
+    }
+}
+
+impl<M: SimMessage> ClusterHandle<M> {
+    /// Waits until `count` distinct processes have decided, or `timeout`
+    /// elapses. Returns the decisions observed (first per process).
+    pub fn await_decisions(&self, count: usize, timeout: Duration) -> Vec<Decision> {
+        let deadline = Instant::now() + timeout;
+        let mut seen: Vec<Decision> = Vec::new();
+        while seen.len() < count {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            if wait.is_zero() {
+                break;
+            }
+            match self.decisions.recv_timeout(wait) {
+                Ok(d) => {
+                    if !seen.iter().any(|s| s.process == d.process) {
+                        seen.push(d);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        seen
+    }
+
+    /// Injects a message into a node as if sent by `from` (test hook for
+    /// Byzantine drivers living outside the cluster).
+    pub fn inject(&self, from: ProcessId, to: ProcessId, msg: M) {
+        let _ = self.senders[to.index()].send(Envelope::Peer(from, msg));
+    }
+
+    /// Stops all threads and joins them.
+    pub fn shutdown(self) {
+        for s in &self.senders {
+            let _ = s.send(Envelope::Shutdown);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbft_core::replica::{Replica, ReplicaOptions};
+    use fastbft_core::Message;
+    use fastbft_crypto::KeyDirectory;
+    use fastbft_sim::ScriptedActor;
+    use fastbft_types::Config;
+
+    fn replicas(
+        cfg: Config,
+        inputs: &[u64],
+        silent: &[u32],
+    ) -> Vec<Box<dyn Actor<Message> + Send>> {
+        let (pairs, dir) = KeyDirectory::generate(cfg.n(), 9);
+        let opts = ReplicaOptions::default();
+        (0..cfg.n())
+            .map(|i| -> Box<dyn Actor<Message> + Send> {
+                if silent.contains(&(i as u32 + 1)) {
+                    Box::new(ScriptedActor::silent())
+                } else {
+                    Box::new(Replica::with_options(
+                        cfg,
+                        pairs[i].clone(),
+                        dir.clone(),
+                        Value::from_u64(inputs[i]),
+                        opts.clone(),
+                    ))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn four_threads_reach_consensus() {
+        let cfg = Config::new(4, 1, 1).unwrap();
+        let cluster = spawn(replicas(cfg, &[7, 7, 7, 7], &[]), Duration::from_micros(50));
+        let decisions = cluster.await_decisions(4, Duration::from_secs(10));
+        cluster.shutdown();
+        assert_eq!(decisions.len(), 4);
+        for d in &decisions {
+            assert_eq!(d.value, Value::from_u64(7));
+        }
+    }
+
+    #[test]
+    fn silent_replica_does_not_block_consensus() {
+        let cfg = Config::new(4, 1, 1).unwrap();
+        // p4 silent (not the view-1 leader p2): fast path still works.
+        let cluster = spawn(replicas(cfg, &[3, 3, 3, 3], &[4]), Duration::from_micros(50));
+        let decisions = cluster.await_decisions(3, Duration::from_secs(10));
+        cluster.shutdown();
+        assert_eq!(decisions.len(), 3);
+        for d in &decisions {
+            assert_eq!(d.value, Value::from_u64(3));
+        }
+    }
+
+    #[test]
+    fn silent_leader_recovers_in_real_time() {
+        let cfg = Config::new(4, 1, 1).unwrap();
+        // leader(1) = p2 silent: the view change must fire on real timers.
+        let cluster = spawn(replicas(cfg, &[5, 5, 5, 5], &[2]), Duration::from_micros(50));
+        let decisions = cluster.await_decisions(3, Duration::from_secs(30));
+        cluster.shutdown();
+        assert_eq!(decisions.len(), 3, "view change must recover");
+        for d in &decisions {
+            assert_eq!(d.value, Value::from_u64(5));
+        }
+    }
+
+    #[test]
+    fn generalized_config_runs_threaded() {
+        let cfg = Config::new(8, 2, 1).unwrap();
+        let cluster = spawn(replicas(cfg, &[9; 8], &[]), Duration::from_micros(50));
+        let decisions = cluster.await_decisions(8, Duration::from_secs(10));
+        cluster.shutdown();
+        assert_eq!(decisions.len(), 8);
+    }
+}

@@ -1,0 +1,194 @@
+//! Scripted actors: building blocks for adversarial and test scenarios.
+//!
+//! The lower-bound executions of Section 4 need *exactly* scripted behavior:
+//! send these messages to these processes at these times, say nothing else.
+//! [`ScriptedActor`] provides that, and is also handy as a stand-in for
+//! crashed or silent processes in unit tests.
+
+use fastbft_types::ProcessId;
+
+use crate::actor::{Actor, Effects, SimMessage, TimerId};
+use crate::time::SimTime;
+
+/// One scripted action.
+#[derive(Clone, Debug)]
+enum Step<M> {
+    /// Send `msg` to a single process at `at`.
+    Send {
+        at: SimTime,
+        to: ProcessId,
+        msg: M,
+    },
+    /// Broadcast `msg` to everyone (including self) at `at`.
+    Broadcast { at: SimTime, msg: M },
+}
+
+impl<M> Step<M> {
+    fn at(&self) -> SimTime {
+        match self {
+            Step::Send { at, .. } | Step::Broadcast { at, .. } => *at,
+        }
+    }
+}
+
+/// An actor that follows a fixed send schedule and otherwise ignores every
+/// input. Incoming messages and unknown timers are silently dropped.
+///
+/// ```
+/// use fastbft_sim::{ScriptedActor, SimMessage, SimTime, Simulation, Network, SimDuration};
+/// use fastbft_types::ProcessId;
+///
+/// #[derive(Clone, Debug)]
+/// struct Hi;
+/// impl SimMessage for Hi {
+///     fn kind(&self) -> &'static str { "hi" }
+///     fn wire_size(&self) -> usize { 2 }
+/// }
+///
+/// let script = ScriptedActor::silent()
+///     .with_send_at(SimTime(0), ProcessId(2), Hi)
+///     .with_broadcast_at(SimTime(300), Hi);
+/// let mut sim = Simulation::new(Network::synchronous(SimDuration(100)), 0);
+/// sim.add_actor(Box::new(script));
+/// sim.add_actor(Box::new(ScriptedActor::silent()));
+/// sim.start();
+/// sim.run_to_quiescence();
+/// assert_eq!(sim.trace().message_stats(SimTime::NEVER).messages, 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScriptedActor<M> {
+    steps: Vec<Step<M>>,
+}
+
+impl<M: SimMessage> ScriptedActor<M> {
+    /// An actor that never sends anything (a silent / crashed process).
+    pub fn silent() -> Self {
+        ScriptedActor { steps: Vec::new() }
+    }
+
+    /// An actor that broadcasts `msg` (to everyone, including itself) at
+    /// `t = 0` and is silent afterwards.
+    pub fn broadcaster(msg: M) -> Self {
+        ScriptedActor::silent().with_broadcast_at(SimTime::ZERO, msg)
+    }
+
+    /// Builder: adds a point-to-point send of `msg` to `to` at `at`.
+    #[must_use]
+    pub fn with_send_at(mut self, at: SimTime, to: ProcessId, msg: M) -> Self {
+        self.steps.push(Step::Send { at, to, msg });
+        self
+    }
+
+    /// Builder: adds a broadcast of `msg` at `at`.
+    #[must_use]
+    pub fn with_broadcast_at(mut self, at: SimTime, msg: M) -> Self {
+        self.steps.push(Step::Broadcast { at, msg });
+        self
+    }
+
+    /// Builder: sends `msg` to each process in `targets` at `at`.
+    #[must_use]
+    pub fn with_multicast_at(
+        mut self,
+        at: SimTime,
+        targets: impl IntoIterator<Item = ProcessId>,
+        msg: M,
+    ) -> Self {
+        for to in targets {
+            self.steps.push(Step::Send {
+                at,
+                to,
+                msg: msg.clone(),
+            });
+        }
+        self
+    }
+
+    fn run_step(&self, idx: usize, fx: &mut Effects<M>) {
+        match &self.steps[idx] {
+            Step::Send { to, msg, .. } => fx.send(*to, msg.clone()),
+            Step::Broadcast { msg, .. } => fx.broadcast(msg.clone()),
+        }
+    }
+}
+
+impl<M: SimMessage> Actor<M> for ScriptedActor<M> {
+    fn on_start(&mut self, fx: &mut Effects<M>) {
+        for (i, step) in self.steps.iter().enumerate() {
+            if step.at() == SimTime::ZERO {
+                self.run_step(i, fx);
+            } else {
+                // One timer per future step; TimerId carries the step index.
+                fx.set_timer(step.at().since(SimTime::ZERO), TimerId(i as u64));
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: ProcessId, _msg: M, _fx: &mut Effects<M>) {}
+
+    fn on_timer(&mut self, timer: TimerId, fx: &mut Effects<M>) {
+        let idx = timer.0 as usize;
+        if idx < self.steps.len() {
+            self.run_step(idx, fx);
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use crate::runner::Simulation;
+    use crate::time::SimDuration;
+    use crate::trace::TraceEvent;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Tick(u8);
+    impl SimMessage for Tick {
+        fn kind(&self) -> &'static str {
+            "tick"
+        }
+        fn wire_size(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn silent_actor_stays_silent() {
+        let mut sim = Simulation::new(Network::synchronous(SimDuration(10)), 0);
+        sim.add_actor(Box::new(ScriptedActor::<Tick>::silent()));
+        sim.add_actor(Box::new(ScriptedActor::<Tick>::silent()));
+        sim.start();
+        sim.inject_message(ProcessId(2), ProcessId(1), Tick(0), SimTime::ZERO);
+        sim.run_to_quiescence();
+        // Only the injected message; no responses.
+        assert_eq!(sim.trace().message_stats(SimTime::NEVER).messages, 1);
+    }
+
+    #[test]
+    fn steps_fire_at_scheduled_times() {
+        let actor = ScriptedActor::silent()
+            .with_send_at(SimTime(0), ProcessId(2), Tick(1))
+            .with_send_at(SimTime(50), ProcessId(2), Tick(2))
+            .with_multicast_at(SimTime(70), [ProcessId(1), ProcessId(2)], Tick(3));
+        let mut sim = Simulation::new(Network::synchronous(SimDuration(10)), 0);
+        sim.add_actor(Box::new(actor));
+        sim.add_actor(Box::new(ScriptedActor::silent()));
+        sim.start();
+        sim.run_to_quiescence();
+        let sends: Vec<(u64, u32)> = sim
+            .trace()
+            .records()
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::Send { to, .. } => Some((r.at.0, to.0)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends, vec![(0, 2), (50, 2), (70, 1), (70, 2)]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Virtual time.
+//!
+//! The simulator measures time in abstract *ticks*. Experiments conventionally
+//! use a message-delay bound Δ of [`SimDuration::DELTA`] ticks so that
+//! latencies read naturally in "message delays" (the unit the paper's claims
+//! are stated in), but nothing in the kernel depends on that choice.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in virtual time, in ticks since the start of the execution.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in ticks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of the execution (`t = 0`).
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than anything a bounded simulation produces; used as
+    /// "never" (e.g. `gst = NEVER` models a permanently asynchronous network).
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
+    /// Saturating difference `self − earlier`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Number of whole `delta` spans elapsed at this time; with the paper's
+    /// round structure (round `i` = `[(i−1)Δ, iΔ)`), an event at time `kΔ`
+    /// has had exactly `k` message delays complete.
+    pub fn delays(self, delta: SimDuration) -> u64 {
+        if delta.0 == 0 {
+            return 0;
+        }
+        self.0 / delta.0
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Conventional message-delay bound Δ used by the experiments
+    /// (100 ticks; read one tick as 10 µs if you want wall-clock intuition).
+    pub const DELTA: SimDuration = SimDuration(100);
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SimTime::NEVER {
+            write!(f, "t=∞")
+        } else {
+            write!(f, "t={}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100) + SimDuration(50);
+        assert_eq!(t, SimTime(150));
+        assert_eq!(t.since(SimTime(100)), SimDuration(50));
+        assert_eq!(t.since(SimTime(200)), SimDuration::ZERO);
+        assert_eq!(SimDuration(30) * 3, SimDuration(90));
+        assert_eq!(SimDuration(90) / 3, SimDuration(30));
+        assert_eq!(SimDuration(10) + SimDuration(5) - SimDuration(3), SimDuration(12));
+    }
+
+    #[test]
+    fn never_saturates() {
+        assert_eq!(SimTime::NEVER + SimDuration(1), SimTime::NEVER);
+    }
+
+    #[test]
+    fn delays_in_delta_units() {
+        let delta = SimDuration(100);
+        assert_eq!(SimTime(0).delays(delta), 0);
+        assert_eq!(SimTime(199).delays(delta), 1);
+        assert_eq!(SimTime(200).delays(delta), 2);
+        assert_eq!(SimTime(200).delays(SimDuration::ZERO), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime(5).to_string(), "t=5");
+        assert_eq!(SimTime::NEVER.to_string(), "t=∞");
+        assert_eq!(SimDuration(7).to_string(), "7 ticks");
+    }
+}

@@ -1,0 +1,310 @@
+//! Execution traces.
+//!
+//! Every simulation records a complete trace: sends, deliveries, timer
+//! events, decisions, crashes. Traces back the figure-replay experiments
+//! (E1–E3 print message-flow summaries directly from the trace) and the
+//! message-complexity experiment (E12 aggregates counts and bytes).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use fastbft_types::{ProcessId, Value};
+
+use crate::time::{SimDuration, SimTime};
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A message was handed to the network.
+    Send {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Message type label.
+        kind: &'static str,
+        /// Encoded size in bytes.
+        bytes: usize,
+        /// Scheduled delivery time.
+        deliver_at: SimTime,
+    },
+    /// A message was delivered to its recipient.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Message type label.
+        kind: &'static str,
+    },
+    /// A process decided a value.
+    Decide {
+        /// The deciding process.
+        process: ProcessId,
+        /// The decided value.
+        value: Value,
+    },
+    /// A process decided **again** — always a bug; the checker flags it.
+    DuplicateDecide {
+        /// The deciding process.
+        process: ProcessId,
+        /// The (possibly different) second value.
+        value: Value,
+    },
+    /// A process crashed (stopped taking steps).
+    Crash {
+        /// The crashed process.
+        process: ProcessId,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// The process whose timer fired.
+        process: ProcessId,
+    },
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// The full record of one execution.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+/// Aggregate message statistics (experiment E12).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Total messages sent.
+    pub messages: usize,
+    /// Total bytes sent.
+    pub bytes: usize,
+    /// Per-kind (messages, bytes).
+    pub by_kind: BTreeMap<&'static str, (usize, usize)>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, event: TraceEvent) {
+        self.records.push(TraceRecord { at, event });
+    }
+
+    /// All records, in event order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// All decisions as `(time, process, value)`, first decision per process.
+    pub fn decisions(&self) -> Vec<(SimTime, ProcessId, Value)> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::Decide { process, value } => Some((r.at, *process, value.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Duplicate decisions (should be empty in any correct run).
+    pub fn duplicate_decisions(&self) -> Vec<(SimTime, ProcessId, Value)> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::DuplicateDecide { process, value } => {
+                    Some((r.at, *process, value.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The decision time of `process`, if it decided.
+    pub fn decision_time(&self, process: ProcessId) -> Option<SimTime> {
+        self.decisions()
+            .iter()
+            .find(|(_, p, _)| *p == process)
+            .map(|(t, _, _)| *t)
+    }
+
+    /// Message statistics, counting sends up to `until` (pass
+    /// [`SimTime::NEVER`] for the whole trace).
+    pub fn message_stats(&self, until: SimTime) -> MessageStats {
+        let mut stats = MessageStats::default();
+        for r in &self.records {
+            if r.at > until {
+                break;
+            }
+            if let TraceEvent::Send { kind, bytes, .. } = r.event {
+                stats.messages += 1;
+                stats.bytes += bytes;
+                let e = stats.by_kind.entry(kind).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += bytes;
+            }
+        }
+        stats
+    }
+
+    /// Renders a compact message-flow summary grouped by send time, in the
+    /// style of the paper's Figures 1a/1b/5: one line per (time, kind,
+    /// sender → receivers).
+    pub fn render_flow(&self, delta: SimDuration) -> String {
+        use std::fmt::Write as _;
+        // (time, kind, from) -> receivers
+        let mut groups: BTreeMap<(u64, &'static str, u32), Vec<u32>> = BTreeMap::new();
+        for r in &self.records {
+            if let TraceEvent::Send { from, to, kind, .. } = r.event {
+                groups.entry((r.at.0, kind, from.0)).or_default().push(to.0);
+            }
+        }
+        let mut out = String::new();
+        for ((at, kind, from), mut tos) in groups {
+            tos.sort_unstable();
+            tos.dedup();
+            let step = at.checked_div(delta.0).unwrap_or(0);
+            let to_str = if tos.len() >= 3 && tos.len() == (tos[tos.len() - 1] - tos[0] + 1) as usize
+            {
+                format!("p{}..p{}", tos[0], tos[tos.len() - 1])
+            } else {
+                tos.iter().map(|t| format!("p{t}")).collect::<Vec<_>>().join(",")
+            };
+            let _ = writeln!(out, "  [t={at}, step {step}] {kind:<12} p{from} -> {to_str}");
+        }
+        for (t, p, v) in self.decisions() {
+            let step = t.0.checked_div(delta.0).unwrap_or(0);
+            let _ = writeln!(out, "  [t={}, step {step}] DECIDE       {p} = {v}", t.0);
+        }
+        out
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            writeln!(f, "[{}] {:?}", r.at, r.event)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(
+            SimTime(0),
+            TraceEvent::Send {
+                from: ProcessId(1),
+                to: ProcessId(2),
+                kind: "propose",
+                bytes: 100,
+                deliver_at: SimTime(100),
+            },
+        );
+        t.push(
+            SimTime(0),
+            TraceEvent::Send {
+                from: ProcessId(1),
+                to: ProcessId(3),
+                kind: "propose",
+                bytes: 100,
+                deliver_at: SimTime(100),
+            },
+        );
+        t.push(
+            SimTime(100),
+            TraceEvent::Deliver {
+                from: ProcessId(1),
+                to: ProcessId(2),
+                kind: "propose",
+            },
+        );
+        t.push(
+            SimTime(100),
+            TraceEvent::Send {
+                from: ProcessId(2),
+                to: ProcessId(1),
+                kind: "ack",
+                bytes: 40,
+                deliver_at: SimTime(200),
+            },
+        );
+        t.push(
+            SimTime(200),
+            TraceEvent::Decide {
+                process: ProcessId(1),
+                value: Value::from_u64(9),
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn decisions_extracted() {
+        let t = sample();
+        let d = t.decisions();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0], (SimTime(200), ProcessId(1), Value::from_u64(9)));
+        assert_eq!(t.decision_time(ProcessId(1)), Some(SimTime(200)));
+        assert_eq!(t.decision_time(ProcessId(2)), None);
+    }
+
+    #[test]
+    fn stats_aggregate_by_kind() {
+        let t = sample();
+        let s = t.message_stats(SimTime::NEVER);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 240);
+        assert_eq!(s.by_kind["propose"], (2, 200));
+        assert_eq!(s.by_kind["ack"], (1, 40));
+        // Cut-off respected.
+        let s0 = t.message_stats(SimTime(50));
+        assert_eq!(s0.messages, 2);
+    }
+
+    #[test]
+    fn flow_rendering_mentions_steps_and_decides() {
+        let t = sample();
+        let flow = t.render_flow(SimDuration(100));
+        assert!(flow.contains("propose"), "{flow}");
+        assert!(flow.contains("step 0"), "{flow}");
+        assert!(flow.contains("DECIDE"), "{flow}");
+        assert!(flow.contains("step 2"), "{flow}");
+    }
+
+    #[test]
+    fn duplicate_decides_surface() {
+        let mut t = sample();
+        t.push(
+            SimTime(300),
+            TraceEvent::DuplicateDecide {
+                process: ProcessId(1),
+                value: Value::from_u64(8),
+            },
+        );
+        assert_eq!(t.duplicate_decisions().len(), 1);
+        assert_eq!(t.decisions().len(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! A replicated key-value store: the canonical state machine.
+
+use std::collections::BTreeMap;
+
+use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
+use fastbft_types::Value;
+
+use crate::machine::StateMachine;
+
+/// Commands understood by the [`KvStore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvCommand {
+    /// Insert or overwrite a key.
+    Put {
+        /// Key.
+        key: String,
+        /// Value.
+        value: String,
+    },
+    /// Read a key (a command so reads are linearized through the log).
+    Get {
+        /// Key.
+        key: String,
+    },
+    /// Remove a key.
+    Delete {
+        /// Key.
+        key: String,
+    },
+    /// Do nothing (the empty slot filler).
+    Noop,
+}
+
+impl KvCommand {
+    /// Encodes the command into a consensus [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::new(self.to_wire_bytes())
+    }
+
+    /// Decodes a command from a decided [`Value`]; `None` for garbage.
+    pub fn from_value(value: &Value) -> Option<KvCommand> {
+        fastbft_types::wire::from_bytes(value.as_bytes()).ok()
+    }
+}
+
+impl Encode for KvCommand {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            KvCommand::Put { key, value } => {
+                buf.push(1);
+                key.encode(buf);
+                value.encode(buf);
+            }
+            KvCommand::Get { key } => {
+                buf.push(2);
+                key.encode(buf);
+            }
+            KvCommand::Delete { key } => {
+                buf.push(3);
+                key.encode(buf);
+            }
+            KvCommand::Noop => buf.push(4),
+        }
+    }
+}
+
+impl Decode for KvCommand {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            1 => KvCommand::Put {
+                key: String::decode(r)?,
+                value: String::decode(r)?,
+            },
+            2 => KvCommand::Get { key: String::decode(r)? },
+            3 => KvCommand::Delete { key: String::decode(r)? },
+            4 => KvCommand::Noop,
+            tag => return Err(WireError::InvalidTag { tag, context: "KvCommand" }),
+        })
+    }
+}
+
+/// Output of applying one command to the store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOutput {
+    /// Result of a `Get` / previous value for `Put` and `Delete`.
+    Value(Option<String>),
+    /// The command was a no-op or unparseable (applied as no-op).
+    Noop,
+}
+
+/// An in-memory ordered key-value store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<String, String>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Direct read access (for assertions; real reads go through the log).
+    pub fn get(&self, key: &str) -> Option<&String> {
+        self.map.get(key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// A digest of the full state, for replica-equality assertions.
+    pub fn state_digest(&self) -> fastbft_crypto::Digest {
+        let mut hasher = fastbft_crypto::sha256::Sha256::new();
+        for (k, v) in &self.map {
+            hasher.update(k.as_bytes());
+            hasher.update(&[0]);
+            hasher.update(v.as_bytes());
+            hasher.update(&[1]);
+        }
+        hasher.finalize()
+    }
+}
+
+impl StateMachine for KvStore {
+    type Output = KvOutput;
+
+    fn apply(&mut self, command: &Value) -> KvOutput {
+        match KvCommand::from_value(command) {
+            Some(KvCommand::Put { key, value }) => KvOutput::Value(self.map.insert(key, value)),
+            Some(KvCommand::Get { key }) => KvOutput::Value(self.map.get(&key).cloned()),
+            Some(KvCommand::Delete { key }) => KvOutput::Value(self.map.remove(&key)),
+            Some(KvCommand::Noop) | None => KvOutput::Noop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_roundtrip() {
+        for cmd in [
+            KvCommand::Put { key: "k".into(), value: "v".into() },
+            KvCommand::Get { key: "k".into() },
+            KvCommand::Delete { key: "k".into() },
+            KvCommand::Noop,
+        ] {
+            let v = cmd.to_value();
+            assert_eq!(KvCommand::from_value(&v), Some(cmd));
+        }
+    }
+
+    #[test]
+    fn garbage_is_noop() {
+        let mut store = KvStore::new();
+        assert_eq!(store.apply(&Value::from_u64(0xDEAD)), KvOutput::Noop);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut store = KvStore::new();
+        let put = KvCommand::Put { key: "a".into(), value: "1".into() }.to_value();
+        assert_eq!(store.apply(&put), KvOutput::Value(None));
+        let get = KvCommand::Get { key: "a".into() }.to_value();
+        assert_eq!(store.apply(&get), KvOutput::Value(Some("1".into())));
+        let del = KvCommand::Delete { key: "a".into() }.to_value();
+        assert_eq!(store.apply(&del), KvOutput::Value(Some("1".into())));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn digest_tracks_state() {
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        assert_eq!(a.state_digest(), b.state_digest());
+        a.apply(&KvCommand::Put { key: "x".into(), value: "1".into() }.to_value());
+        assert_ne!(a.state_digest(), b.state_digest());
+        b.apply(&KvCommand::Put { key: "x".into(), value: "1".into() }.to_value());
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+}

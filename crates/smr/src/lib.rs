@@ -1,0 +1,45 @@
+//! Replicated state machine on top of `fastbft` consensus.
+//!
+//! The paper motivates consensus through state machine replication (§1.1):
+//! "solving consensus allows one to build a replicated state machine by
+//! reaching agreement on each next command to be executed". This crate is
+//! that layer:
+//!
+//! * [`StateMachine`] — deterministic command execution ([`machine`]);
+//! * [`KvStore`] / [`KvCommand`] — a replicated key-value store ([`kv`]);
+//! * [`SmrNode`] — one consensus instance per log slot, applied in order
+//!   ([`multiplex`]);
+//! * [`SmrSimCluster`] — a ready-made simulated cluster with log-consistency
+//!   checking ([`harness`]).
+//!
+//! ```
+//! use fastbft_smr::{KvCommand, KvStore, SmrSimCluster};
+//! use fastbft_core::replica::ReplicaOptions;
+//! use fastbft_types::{Config, ProcessId};
+//! use fastbft_sim::SimTime;
+//!
+//! let cfg = Config::new(4, 1, 1)?;
+//! let mut commands = vec![Vec::new(); 4];
+//! commands[1] = vec![KvCommand::Put { key: "x".into(), value: "1".into() }.to_value()];
+//! let mut cluster = SmrSimCluster::new(
+//!     cfg, 42, KvStore::new(), commands, KvCommand::Noop.to_value(),
+//!     ReplicaOptions::default(),
+//! );
+//! let report = cluster.run_until_applied(1, SimTime(100_000));
+//! assert!(report.logs_consistent);
+//! assert_eq!(cluster.machine(ProcessId(3)).get("x"), Some(&"1".to_string()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod kv;
+pub mod machine;
+pub mod multiplex;
+
+pub use harness::{SmrReport, SmrSimCluster};
+pub use kv::{KvCommand, KvOutput, KvStore};
+pub use machine::{CountingMachine, StateMachine};
+pub use multiplex::{SlotMessage, SmrNode};

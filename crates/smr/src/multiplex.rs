@@ -1,0 +1,293 @@
+//! Slot multiplexing: one consensus instance per log position.
+//!
+//! [`SmrNode`] wraps one [`Replica`] per slot and
+//! routes [`SlotMessage`]s between them. Decided slots are applied to the
+//! node's [`StateMachine`] strictly in slot order, so all replicas execute
+//! the same command sequence — the replicated state machine of the paper's
+//! introduction.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fastbft_core::message::Message;
+use fastbft_core::replica::{Replica, ReplicaOptions};
+use fastbft_crypto::{KeyDirectory, KeyPair};
+use fastbft_sim::{Actor, Effects, SimMessage, TimerId};
+use fastbft_types::{Config, ProcessId, Value};
+
+use crate::machine::StateMachine;
+
+/// A consensus message tagged with its log slot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlotMessage {
+    /// The log position this message belongs to.
+    pub slot: u64,
+    /// The inner consensus message.
+    pub inner: Message,
+}
+
+impl SimMessage for SlotMessage {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self.inner.wire_size()
+    }
+}
+
+/// How many slots ahead of the lowest unapplied slot a node will
+/// instantiate replicas for. Messages beyond the window are buffered.
+const SLOT_WINDOW: u64 = 64;
+
+/// Timer namespace stride: slot id in the high bits, the replica's own
+/// timer generation in the low bits.
+const TIMER_STRIDE: u64 = 1 << 32;
+
+/// One process of the replicated state machine. See module docs.
+pub struct SmrNode<S: StateMachine> {
+    cfg: Config,
+    keys: KeyPair,
+    dir: KeyDirectory,
+    opts: ReplicaOptions,
+    machine: S,
+    /// Commands this node wants committed, in submission order.
+    pending: VecDeque<Value>,
+    /// Proposed-when-idle filler command.
+    idle_input: Value,
+    /// Commands bundled into one consensus value per slot.
+    batch_size: usize,
+    /// Open consensus instances.
+    slots: BTreeMap<u64, Replica>,
+    /// Decided but possibly not yet applied values.
+    decided: BTreeMap<u64, Value>,
+    /// Next slot to apply (== number of applied commands).
+    applied: u64,
+    /// Messages for slots beyond the window.
+    stashed: BTreeMap<u64, Vec<(ProcessId, Message)>>,
+    /// The applied command log (for cross-replica assertions).
+    log: Vec<Value>,
+}
+
+impl<S: StateMachine> SmrNode<S> {
+    /// Creates a node with a queue of client commands to commit.
+    pub fn new(
+        cfg: Config,
+        keys: KeyPair,
+        dir: KeyDirectory,
+        machine: S,
+        commands: impl IntoIterator<Item = Value>,
+        idle_input: Value,
+    ) -> Self {
+        SmrNode {
+            cfg,
+            keys,
+            dir,
+            opts: ReplicaOptions::default(),
+            machine,
+            pending: commands.into_iter().collect(),
+            idle_input,
+            batch_size: 1,
+            slots: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            applied: 0,
+            stashed: BTreeMap::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-slot replica options.
+    #[must_use]
+    pub fn with_options(mut self, opts: ReplicaOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Bundles up to `batch_size` queued commands into each slot's proposal
+    /// (amortizing the two message delays over many commands). Default 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is 0.
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Number of *slots* applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Number of *commands* applied so far (≥ slots when batching).
+    pub fn commands_applied(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The applied command log.
+    pub fn log(&self) -> &[Value] {
+        &self.log
+    }
+
+    /// The state machine (for assertions).
+    pub fn machine(&self) -> &S {
+        &self.machine
+    }
+
+    /// Commands still waiting to be committed.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The slot proposal: a batch of up to `batch_size` queued commands
+    /// (or the idle filler), encoded as one consensus value.
+    fn input_for_slot(&self, _slot: u64) -> Value {
+        let mut cmds: Vec<Value> = self.pending.iter().take(self.batch_size).cloned().collect();
+        if cmds.is_empty() {
+            cmds.push(self.idle_input.clone());
+        }
+        Value::new(fastbft_types::wire::to_bytes(&cmds))
+    }
+
+    /// Decodes a decided slot value into its command batch. Values that are
+    /// not well-formed batches (possible when a Byzantine leader proposes
+    /// raw bytes) are applied as a single opaque command — deterministically
+    /// on every replica.
+    fn decode_batch(value: &Value) -> Vec<Value> {
+        fastbft_types::wire::from_bytes::<Vec<Value>>(value.as_bytes())
+            .unwrap_or_else(|_| vec![value.clone()])
+    }
+
+    fn open_slot(&mut self, slot: u64, fx: &mut Effects<SlotMessage>) {
+        if self.slots.contains_key(&slot) || self.decided.contains_key(&slot) {
+            return;
+        }
+        // Rotate first-leadership across slots so every process's commands
+        // get committed without waiting for a view change (fairness).
+        let mut replica = Replica::with_options(
+            self.cfg.with_leader_offset(slot),
+            self.keys.clone(),
+            self.dir.clone(),
+            self.input_for_slot(slot),
+            self.opts.clone(),
+        );
+        let mut inner = Effects::new(fx.id(), fx.n(), fx.now());
+        replica.on_start(&mut inner);
+        self.slots.insert(slot, replica);
+        self.relay_inner(slot, inner, fx);
+        // Replay anything that arrived before the slot opened.
+        if let Some(stash) = self.stashed.remove(&slot) {
+            for (from, msg) in stash {
+                self.deliver(slot, from, msg, fx);
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        slot: u64,
+        from: ProcessId,
+        msg: Message,
+        fx: &mut Effects<SlotMessage>,
+    ) {
+        let Some(replica) = self.slots.get_mut(&slot) else { return };
+        let mut inner = Effects::new(fx.id(), fx.n(), fx.now());
+        replica.on_message(from, msg, &mut inner);
+        self.relay_inner(slot, inner, fx);
+    }
+
+    fn relay_inner(
+        &mut self,
+        slot: u64,
+        inner: Effects<Message>,
+        fx: &mut Effects<SlotMessage>,
+    ) {
+        for (to, msg) in inner.sent() {
+            fx.send(
+                *to,
+                SlotMessage {
+                    slot,
+                    inner: msg.clone(),
+                },
+            );
+        }
+        for (delay, timer) in inner.timers_set() {
+            fx.set_timer(*delay, TimerId(slot * TIMER_STRIDE + timer.0));
+        }
+        if let Some(value) = inner.decision_made() {
+            self.on_slot_decided(slot, value.clone(), fx);
+        }
+    }
+
+    fn on_slot_decided(&mut self, slot: u64, value: Value, fx: &mut Effects<SlotMessage>) {
+        if self.decided.contains_key(&slot) {
+            return;
+        }
+        self.decided.insert(slot, value);
+        // Apply every now-contiguous decided slot in order, one command at
+        // a time (a slot carries a batch).
+        while let Some(value) = self.decided.get(&self.applied).cloned() {
+            for cmd in Self::decode_batch(&value) {
+                self.machine.apply(&cmd);
+                self.log.push(cmd.clone());
+                if self.pending.front() == Some(&cmd) {
+                    self.pending.pop_front();
+                }
+            }
+            self.slots.remove(&self.applied);
+            self.applied += 1;
+        }
+        // Keep the pipeline going.
+        self.open_slot(self.applied, fx);
+        // The window may have moved: drain newly eligible stashes.
+        let eligible: Vec<u64> = self
+            .stashed
+            .keys()
+            .copied()
+            .filter(|s| *s < self.applied + SLOT_WINDOW)
+            .collect();
+        for s in eligible {
+            self.open_slot(s, fx);
+        }
+    }
+}
+
+impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
+    fn on_start(&mut self, fx: &mut Effects<SlotMessage>) {
+        self.open_slot(0, fx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SlotMessage, fx: &mut Effects<SlotMessage>) {
+        let SlotMessage { slot, inner } = msg;
+        if self.decided.contains_key(&slot) && !self.slots.contains_key(&slot) {
+            return; // already settled and cleaned up
+        }
+        if !self.slots.contains_key(&slot) {
+            if slot < self.applied + SLOT_WINDOW {
+                self.open_slot(slot, fx);
+            } else {
+                self.stashed.entry(slot).or_default().push((from, inner));
+                return;
+            }
+        }
+        self.deliver(slot, from, inner, fx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, fx: &mut Effects<SlotMessage>) {
+        let slot = timer.0 / TIMER_STRIDE;
+        let inner_timer = TimerId(timer.0 % TIMER_STRIDE);
+        let Some(replica) = self.slots.get_mut(&slot) else { return };
+        let mut inner = Effects::new(fx.id(), fx.n(), fx.now());
+        replica.on_timer(inner_timer, &mut inner);
+        self.relay_inner(slot, inner, fx);
+    }
+
+    fn label(&self) -> &'static str {
+        "smr-node"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,161 @@
+//! Process identifiers and view numbers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::wire::{Decode, Encode, WireError, WireReader};
+
+/// Identifier of a process (the paper's `p_1, …, p_n`).
+///
+/// Identifiers are 1-based to match the paper's indexing: a system of `n`
+/// processes uses `ProcessId(1) ..= ProcessId(n)`.
+///
+/// ```
+/// use fastbft_types::ProcessId;
+/// let p = ProcessId(3);
+/// assert_eq!(p.index(), 2); // zero-based index into arrays
+/// assert_eq!(format!("{p}"), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Zero-based index of this process, usable as an array index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is 0 (identifiers are 1-based).
+    pub fn index(self) -> usize {
+        assert!(self.0 >= 1, "process identifiers are 1-based");
+        (self.0 - 1) as usize
+    }
+
+    /// Builds a [`ProcessId`] from a zero-based index.
+    pub fn from_index(index: usize) -> Self {
+        ProcessId(index as u32 + 1)
+    }
+
+    /// Iterator over all process ids of an `n`-process system:
+    /// `p1, p2, …, pn`.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+        (1..=n as u32).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl Encode for ProcessId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for ProcessId {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ProcessId(u32::decode(r)?))
+    }
+}
+
+/// A view number (the paper's `v`, `u`, `w`).
+///
+/// Views are strictly positive; the first view is [`View::FIRST`] (`v = 1`).
+/// The value `0` is reserved for "no view yet" in a few internal protocol
+/// bookkeeping places and is representable but never a valid protocol view.
+///
+/// ```
+/// use fastbft_types::View;
+/// let v = View::FIRST;
+/// assert_eq!(v.next(), View(2));
+/// assert!(View(7) > View(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct View(pub u64);
+
+impl View {
+    /// The initial view, `v = 1`. Every process starts here; `leader(1)` may
+    /// propose without a progress certificate (any value is safe in view 1).
+    pub const FIRST: View = View(1);
+
+    /// The successor view `v + 1`.
+    #[must_use]
+    pub fn next(self) -> View {
+        View(self.0 + 1)
+    }
+
+    /// Whether this is the initial view.
+    pub fn is_first(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view {}", self.0)
+    }
+}
+
+impl Encode for View {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for View {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(View(u64::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::roundtrip;
+
+    #[test]
+    fn process_id_index_roundtrip() {
+        for i in 0..64 {
+            assert_eq!(ProcessId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn process_id_zero_index_panics() {
+        let _ = ProcessId(0).index();
+    }
+
+    #[test]
+    fn all_yields_one_based_ids() {
+        let ids: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(
+            ids,
+            vec![ProcessId(1), ProcessId(2), ProcessId(3), ProcessId(4)]
+        );
+    }
+
+    #[test]
+    fn view_ordering_and_next() {
+        assert!(View::FIRST < View::FIRST.next());
+        assert_eq!(View(41).next(), View(42));
+        assert!(View::FIRST.is_first());
+        assert!(!View(2).is_first());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcessId(7).to_string(), "p7");
+        assert_eq!(View(3).to_string(), "view 3");
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        roundtrip(&ProcessId(123));
+        roundtrip(&View(u64::MAX));
+        roundtrip(&View::FIRST);
+    }
+}

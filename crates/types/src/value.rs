@@ -1,0 +1,161 @@
+//! Consensus values.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::wire::{Decode, Encode, WireError, WireReader};
+
+/// An opaque consensus value (the paper's `x`).
+///
+/// The protocol never inspects value contents; it only compares values for
+/// equality and moves them around. `Value` is backed by [`Bytes`], so clones
+/// are cheap reference bumps — important because the all-to-all `ack` phase
+/// clones the proposed value `O(n²)` times per decision.
+///
+/// ```
+/// use fastbft_types::Value;
+/// let a = Value::from_u64(7);
+/// let b = Value::new(7u64.to_be_bytes().to_vec());
+/// assert_eq!(a, b);
+/// assert_eq!(a.len(), 8);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// Creates a value from raw bytes.
+    pub fn new(bytes: impl Into<Bytes>) -> Self {
+        Value(bytes.into())
+    }
+
+    /// Convenience constructor: the big-endian encoding of `x`.
+    ///
+    /// Used throughout tests and experiments where values are just labels
+    /// (e.g. the lower-bound construction uses values `0` and `1`).
+    pub fn from_u64(x: u64) -> Self {
+        Value(Bytes::copy_from_slice(&x.to_be_bytes()))
+    }
+
+    /// Interprets the value as a big-endian `u64` if it is exactly 8 bytes.
+    pub fn as_u64(&self) -> Option<u64> {
+        let arr: [u8; 8] = self.0.as_ref().try_into().ok()?;
+        Some(u64::from_be_bytes(arr))
+    }
+
+    /// The raw bytes of the value.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the value in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Values are usually short labels; show them as integers when they
+        // parse as one, otherwise as hex (truncated).
+        if let Some(x) = self.as_u64() {
+            write!(f, "Value({x})")
+        } else {
+            write!(f, "Value(0x")?;
+            for b in self.0.iter().take(8) {
+                write!(f, "{b:02x}")?;
+            }
+            if self.0.len() > 8 {
+                write!(f, "…")?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::new(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Encode for Value {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.as_ref().encode(buf);
+    }
+}
+
+impl Decode for Value {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let bytes: Vec<u8> = Vec::<u8>::decode(r)?;
+        Ok(Value::new(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::roundtrip;
+
+    #[test]
+    fn u64_roundtrip() {
+        for x in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(Value::from_u64(x).as_u64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn non_u64_values() {
+        assert_eq!(Value::from("abc").as_u64(), None);
+        assert_eq!(Value::from("abc").len(), 3);
+        assert!(Value::default().is_empty());
+    }
+
+    #[test]
+    fn clones_are_equal_and_cheap() {
+        let v = Value::new(vec![9u8; 1024]);
+        let c = v.clone();
+        assert_eq!(v, c);
+        // Bytes clones share storage.
+        assert_eq!(v.as_bytes().as_ptr(), c.as_bytes().as_ptr());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Value::default()).is_empty());
+        assert_eq!(format!("{:?}", Value::from_u64(5)), "Value(5)");
+        let long = Value::new(vec![0xFF; 20]);
+        assert!(format!("{long:?}").contains('…'));
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        roundtrip(&Value::from_u64(99));
+        roundtrip(&Value::from("hello world"));
+        roundtrip(&Value::default());
+    }
+}

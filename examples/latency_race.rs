@@ -1,0 +1,102 @@
+//! Latency race: this paper's protocol vs FaB Paxos vs PBFT, on identical
+//! networks.
+//!
+//! Reproduces the §1 comparison: two-step protocols (ours, FaB) decide in
+//! 2Δ; PBFT needs 3Δ — and ours does it with the fewest processes.
+//!
+//! Run with: `cargo run --example latency_race`
+
+use fastbft::baselines::{fab_config, FabReplica, PbftReplica};
+use fastbft::core::cluster::SimCluster;
+use fastbft::crypto::KeyDirectory;
+use fastbft::sim::{Network, SimDuration, SimTime, Simulation};
+use fastbft::types::{Config, ProcessId, ProtocolKind, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let delta = SimDuration::DELTA;
+    println!("one Byzantine fault tolerated (f = t = 1), synchronous network, Δ = {delta}\n");
+    println!("{:<22} {:>4} {:>16} {:>12}", "protocol", "n", "delays to decide", "messages");
+
+    // KTZ21 (this paper): n = 4.
+    let cfg = Config::new(ProtocolKind::Ktz.min_n(1, 1), 1, 1)?;
+    let mut cluster = SimCluster::builder(cfg).inputs_u64(vec![7; cfg.n()]).build();
+    let report = cluster.run_until_all_decide();
+    assert!(report.violations.is_empty());
+    println!(
+        "{:<22} {:>4} {:>16} {:>12}",
+        "KTZ21 (this paper)",
+        cfg.n(),
+        report.decision_delays_max(),
+        report.stats.messages
+    );
+
+    // FaB Paxos: n = 6 for the same guarantee.
+    let fab_n = ProtocolKind::FabPaxos.min_n(1, 1);
+    let fab_cfg = fab_config(fab_n, 1, 1).map_err(std::io::Error::other)?;
+    let (pairs, dir) = KeyDirectory::generate(fab_n, 42);
+    let mut sim = Simulation::new(Network::synchronous(delta), 1);
+    for keys in pairs.iter().take(fab_n).cloned() {
+        sim.add_actor(Box::new(FabReplica::new(
+            fab_cfg,
+            keys,
+            dir.clone(),
+            Value::from_u64(7),
+            )));
+    }
+    sim.start();
+    let everyone: Vec<ProcessId> = (1..=fab_n as u32).map(ProcessId).collect();
+    assert!(sim.run_until_all_decide(&everyone, SimTime(100_000)));
+    let fab_delays = sim
+        .decisions()
+        .iter()
+        .map(|(_, t, _)| t.0.div_ceil(delta.0))
+        .max()
+        .unwrap();
+    println!(
+        "{:<22} {:>4} {:>16} {:>12}",
+        "FaB Paxos",
+        fab_n,
+        fab_delays,
+        sim.trace().message_stats(SimTime::NEVER).messages
+    );
+
+    // PBFT: n = 4, but three message delays.
+    let pbft_n = ProtocolKind::Pbft.min_n(1, 0);
+    let pbft_cfg = Config::new(pbft_n, 1, 1)?;
+    let (pairs, dir) = KeyDirectory::generate(pbft_n, 43);
+    let mut sim = Simulation::new(Network::synchronous(delta), 2);
+    for keys in pairs.iter().take(pbft_n).cloned() {
+        sim.add_actor(Box::new(PbftReplica::new(
+            pbft_cfg,
+            keys,
+            dir.clone(),
+            Value::from_u64(7),
+            )));
+    }
+    sim.start();
+    let everyone: Vec<ProcessId> = (1..=pbft_n as u32).map(ProcessId).collect();
+    assert!(sim.run_until_all_decide(&everyone, SimTime(100_000)));
+    let pbft_delays = sim
+        .decisions()
+        .iter()
+        .map(|(_, t, _)| t.0.div_ceil(delta.0))
+        .max()
+        .unwrap();
+    println!(
+        "{:<22} {:>4} {:>16} {:>12}",
+        "PBFT",
+        pbft_n,
+        pbft_delays,
+        sim.trace().message_stats(SimTime::NEVER).messages
+    );
+
+    println!(
+        "\nKTZ21 matches FaB's two-step latency with {} fewer processes, and beats \
+         PBFT by one message delay at equal n.",
+        fab_n - cfg.n()
+    );
+    assert_eq!(report.decision_delays_max(), 2);
+    assert_eq!(fab_delays, 2);
+    assert_eq!(pbft_delays, 3);
+    Ok(())
+}

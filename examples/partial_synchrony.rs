@@ -1,0 +1,56 @@
+//! Life before GST: the network is chaotic, the first leader's proposal
+//! may be arbitrarily delayed — yet nothing ever breaks, and as soon as the
+//! network stabilizes the protocol finishes.
+//!
+//! This demonstrates the partial-synchrony model the paper assumes (§2.1):
+//! a known bound Δ that holds only from an unknown Global Stabilization
+//! Time (GST) on. Safety never depends on timing; only liveness waits for
+//! GST.
+//!
+//! Run with: `cargo run --example partial_synchrony`
+
+use fastbft::core::cluster::{Behavior, SimCluster};
+use fastbft::sim::{SimDuration, SimTime};
+use fastbft::types::{Config, ProcessId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = Config::new(4, 1, 1)?;
+    let delta = SimDuration::DELTA;
+
+    println!("n = 4, f = t = 1, Δ = {delta}; pre-GST delays up to 20Δ\n");
+    println!("{:<12} {:>14} {:>22}", "GST (Δ)", "decided at (Δ)", "Δ after GST");
+
+    for gst_deltas in [0u64, 10, 30, 60] {
+        let gst = SimTime(gst_deltas * delta.0);
+        // One crashed process too — at most t = 1 faults.
+        let mut cluster = SimCluster::builder(cfg)
+            .inputs_u64([7, 7, 7, 7])
+            .gst(gst, SimDuration(delta.0 * 20))
+            .behavior(ProcessId(4), Behavior::CrashAt(SimTime(150)))
+            .seed(3)
+            .build();
+        let report = cluster.run_until_all_decide();
+        assert!(report.all_decided, "must decide after GST");
+        assert!(report.violations.is_empty(), "never a safety violation");
+        let decided_at = report
+            .decisions
+            .iter()
+            .map(|(_, t, _)| t.0)
+            .max()
+            .unwrap();
+        println!(
+            "{:<12} {:>14} {:>22}",
+            gst_deltas,
+            decided_at.div_ceil(delta.0),
+            decided_at.saturating_sub(gst.0).div_ceil(delta.0)
+        );
+    }
+
+    println!();
+    println!("observations:");
+    println!("  • with GST = 0 the run is the common case: two message delays;");
+    println!("  • with late GST, decisions may land before GST (lucky schedules) or");
+    println!("    within a bounded window after it (view changes + doubling timeouts);");
+    println!("  • the violation count is zero in every run: safety is untimed.");
+    Ok(())
+}

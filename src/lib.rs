@@ -1,0 +1,45 @@
+//! # fastbft
+//!
+//! A complete implementation of *"Revisiting Optimal Resilience of Fast
+//! Byzantine Consensus"* (Petr Kuznetsov, Andrei Tonkikh, Yan X Zhang —
+//! PODC 2021, arXiv:2102.12825): fast (two-message-delay) Byzantine
+//! consensus with the optimal resilience `n = 3f + 2t − 1`, together with
+//! every substrate it needs and the baselines it is compared against.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`types`] — ids, views, values, configuration and quorum arithmetic;
+//! * [`crypto`] — SHA-256 / HMAC signatures and certificate aggregation;
+//! * [`sim`] — a deterministic discrete-event partial-synchrony simulator;
+//! * [`core`] — the paper's protocol (fast path, slow path, view change
+//!   with bounded progress certificates, view synchronizer);
+//! * [`baselines`] — PBFT-style three-step and FaB Paxos two-step protocols;
+//! * [`smr`] — a replicated state machine / KV store built on consensus;
+//! * [`runtime`] — a thread-per-replica real-time runtime.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastbft::types::{Config, Value};
+//! use fastbft::core::cluster::SimCluster;
+//!
+//! // Four processes, one of which may be Byzantine (f = t = 1) — the
+//! // paper's headline configuration.
+//! let cfg = Config::new(4, 1, 1)?;
+//! let mut cluster = SimCluster::builder(cfg)
+//!     .inputs_u64([7, 7, 7, 7])
+//!     .build();
+//! let report = cluster.run_until_all_decide();
+//! assert_eq!(report.unanimous_decision().unwrap(), Value::from_u64(7));
+//! // Common case: exactly two message delays.
+//! assert_eq!(report.decision_delays_max(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use fastbft_baselines as baselines;
+pub use fastbft_core as core;
+pub use fastbft_crypto as crypto;
+pub use fastbft_runtime as runtime;
+pub use fastbft_sim as sim;
+pub use fastbft_smr as smr;
+pub use fastbft_types as types;

@@ -1,0 +1,141 @@
+//! Integration tests for the baseline protocols, under the same scenarios
+//! as the core protocol, plus head-to-head shape checks.
+
+use fastbft::baselines::{fab_config, fab_min_n, FabMessage, FabReplica, PbftMessage, PbftReplica};
+use fastbft::crypto::KeyDirectory;
+use fastbft::sim::{Actor, Network, ScriptedActor, SimDuration, SimTime, Simulation};
+use fastbft::types::{Config, ProcessId, ProtocolKind, Value};
+
+fn delta() -> SimDuration {
+    SimDuration::DELTA
+}
+
+fn run_pbft(n: usize, f: usize, silent: &[u32], gst: Option<(SimTime, SimDuration)>, seed: u64)
+    -> Vec<(ProcessId, SimTime, Value)>
+{
+    let cfg = Config::new_unchecked(n, f, 1.min(f));
+    let (pairs, dir) = KeyDirectory::generate(n, seed);
+    let network = match gst {
+        None => Network::synchronous(delta()),
+        Some((gst, chaos)) => Network::partially_synchronous(delta(), gst, chaos),
+    };
+    let mut sim = Simulation::new(network, seed);
+    for (i, pair) in pairs.iter().enumerate().take(n) {
+        let actor: Box<dyn Actor<PbftMessage>> = if silent.contains(&(i as u32 + 1)) {
+            Box::new(ScriptedActor::silent())
+        } else {
+            Box::new(PbftReplica::new(cfg, pair.clone(), dir.clone(), Value::from_u64(7)))
+        };
+        sim.add_actor(actor);
+    }
+    sim.start();
+    let correct: Vec<ProcessId> = (1..=n as u32)
+        .filter(|i| !silent.contains(i))
+        .map(ProcessId)
+        .collect();
+    assert!(
+        sim.run_until_all_decide(&correct, SimTime(5_000_000)),
+        "PBFT n={n} f={f} silent={silent:?} failed to decide"
+    );
+    sim.decisions()
+}
+
+fn run_fab(n: usize, f: usize, t: usize, silent: &[u32], seed: u64)
+    -> Vec<(ProcessId, SimTime, Value)>
+{
+    let cfg = fab_config(n, f, t).unwrap();
+    let (pairs, dir) = KeyDirectory::generate(n, seed);
+    let mut sim = Simulation::new(Network::synchronous(delta()), seed);
+    for (i, pair) in pairs.iter().enumerate().take(n) {
+        let actor: Box<dyn Actor<FabMessage>> = if silent.contains(&(i as u32 + 1)) {
+            Box::new(ScriptedActor::silent())
+        } else {
+            Box::new(FabReplica::new(cfg, pair.clone(), dir.clone(), Value::from_u64(7)))
+        };
+        sim.add_actor(actor);
+    }
+    sim.start();
+    let correct: Vec<ProcessId> = (1..=n as u32)
+        .filter(|i| !silent.contains(i))
+        .map(ProcessId)
+        .collect();
+    assert!(
+        sim.run_until_all_decide(&correct, SimTime(5_000_000)),
+        "FaB n={n} f={f} t={t} silent={silent:?} failed to decide"
+    );
+    sim.decisions()
+}
+
+#[test]
+fn pbft_agreement_across_sizes() {
+    for (n, f) in [(4usize, 1usize), (7, 2), (10, 3)] {
+        let decisions = run_pbft(n, f, &[], None, 1);
+        assert_eq!(decisions.len(), n);
+        assert!(decisions.iter().all(|(_, _, v)| *v == Value::from_u64(7)));
+        // Three-step common case.
+        for (_, t, _) in &decisions {
+            assert_eq!(t.0.div_ceil(delta().0), 3);
+        }
+    }
+}
+
+#[test]
+fn pbft_handles_partial_synchrony() {
+    for seed in 0..3 {
+        let decisions = run_pbft(4, 1, &[], Some((SimTime(2_000), SimDuration(1_500))), seed);
+        let values: Vec<&Value> = decisions.iter().map(|(_, _, v)| v).collect();
+        assert!(values.windows(2).all(|w| w[0] == w[1]), "disagreement: {decisions:?}");
+    }
+}
+
+#[test]
+fn pbft_view_change_with_max_silent() {
+    // f silent processes including the first leader.
+    let decisions = run_pbft(7, 2, &[2, 5], None, 3);
+    assert_eq!(decisions.len(), 5);
+    let first = &decisions[0].2;
+    assert!(decisions.iter().all(|(_, _, v)| v == first));
+}
+
+#[test]
+fn fab_agreement_and_speed() {
+    for (f, t) in [(1usize, 1usize), (2, 1), (2, 2)] {
+        let n = fab_min_n(f, t);
+        let decisions = run_fab(n, f, t, &[], 1);
+        assert_eq!(decisions.len(), n);
+        for (_, time, v) in &decisions {
+            assert_eq!(*v, Value::from_u64(7));
+            assert_eq!(time.0.div_ceil(delta().0), 2, "FaB is two-step");
+        }
+    }
+}
+
+#[test]
+fn fab_tolerates_t_faults_fast() {
+    // n = 11 = 5f+1 with f = t = 2: two silent followers, still 2 delays.
+    let decisions = run_fab(11, 2, 2, &[5, 8], 2);
+    assert_eq!(decisions.len(), 9);
+    for (_, time, _) in &decisions {
+        assert_eq!(time.0.div_ceil(delta().0), 2);
+    }
+}
+
+#[test]
+fn fab_recovers_from_silent_leader() {
+    let decisions = run_fab(6, 1, 1, &[2], 3); // leader(1) = p2
+    assert_eq!(decisions.len(), 5);
+    let first = &decisions[0].2;
+    assert!(decisions.iter().all(|(_, _, v)| v == first));
+}
+
+/// The headline size comparison, executed: at f = t = 1 the paper's
+/// protocol needs 4 processes where FaB needs 6 — and FaB's constructor
+/// refuses 4 or 5.
+#[test]
+fn headline_process_counts() {
+    assert_eq!(ProtocolKind::Ktz.min_n(1, 1), 4);
+    assert_eq!(ProtocolKind::FabPaxos.min_n(1, 1), 6);
+    assert!(fab_config(5, 1, 1).is_err());
+    assert!(fab_config(4, 1, 1).is_err());
+    assert!(Config::new(4, 1, 1).is_ok());
+}

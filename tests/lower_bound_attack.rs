@@ -1,0 +1,62 @@
+//! The negative control: the Section 4 adversary as an integration test.
+//!
+//! These tests are the executable statement of Theorem 4.5 — they assert
+//! that the attack *succeeds* one process below the bound. If a future
+//! protocol change made `attack_breaks_below_bound` fail, that change
+//! would be claiming to beat a proven lower bound: almost certainly a bug
+//! in the change (e.g. an accidentally weakened fast path).
+
+use fastbft::core::lower_bound::{at_bound_n, below_bound_n, run_attack, DELTA, FAST_DECIDER};
+use fastbft::sim::{SimTime, Violation};
+use fastbft::types::Value;
+
+#[test]
+fn attack_breaks_below_bound_for_multiple_seeds() {
+    for seed in [1u64, 7, 42] {
+        let outcome = run_attack(below_bound_n(), seed);
+        assert!(outcome.disagreement, "seed {seed}: attack must succeed");
+        let (t, v) = outcome.fast_decision.clone().unwrap();
+        assert_eq!(v, Value::from_u64(1));
+        assert_eq!(t, SimTime(2 * DELTA.0));
+    }
+}
+
+#[test]
+fn attack_harmless_at_bound_for_multiple_seeds() {
+    for seed in [1u64, 7, 42] {
+        let outcome = run_attack(at_bound_n(), seed);
+        assert!(!outcome.disagreement, "seed {seed}: bound must protect");
+        assert!(outcome.violations.is_empty(), "seed {seed}: {:?}", outcome.violations);
+    }
+}
+
+#[test]
+fn disagreement_is_between_fast_decider_and_the_rest() {
+    let outcome = run_attack(below_bound_n(), 1);
+    // P3 = process 5 decided 1; everyone else decided 0.
+    for (p, _, v) in &outcome.decisions {
+        if *p == FAST_DECIDER {
+            assert_eq!(*v, Value::from_u64(1));
+        } else {
+            assert_eq!(*v, Value::from_u64(0), "process {p}");
+        }
+    }
+    // The checker reports it as a disagreement (and the fast decider also
+    // re-decides differently once the late messages land).
+    assert!(outcome
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::Disagreement { .. })));
+}
+
+#[test]
+fn fast_decisions_happen_in_two_steps_in_both_worlds() {
+    // The attack's ρ2 is a T-faulty two-step execution prefix: the fast
+    // decision lands at exactly 2Δ at n = 8 *and* n = 9 — the difference is
+    // only what later views may decide.
+    for n in [below_bound_n(), at_bound_n()] {
+        let outcome = run_attack(n, 1);
+        let (t, _) = outcome.fast_decision.clone().unwrap();
+        assert_eq!(t, SimTime(2 * DELTA.0), "n = {n}");
+    }
+}
