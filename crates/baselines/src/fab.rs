@@ -66,7 +66,12 @@ pub struct FabVoteData {
     /// The proposing leader's signature.
     pub leader_sig: Signature,
 }
-fastbft_types::impl_wire_struct!(FabVoteData { value, view, cert, leader_sig });
+fastbft_types::impl_wire_struct!(FabVoteData {
+    value,
+    view,
+    cert,
+    leader_sig
+});
 
 /// A signed FaB vote bound to a destination view.
 #[derive(Clone, Debug, PartialEq)]
@@ -96,7 +101,10 @@ impl FabSignedVote {
         if self.sig.signer != self.voter {
             return false;
         }
-        if !dir.verify(&fab_vote_payload(&self.vote.to_wire_bytes(), dest_view), &self.sig) {
+        if !dir.verify(
+            &fab_vote_payload(&self.vote.to_wire_bytes(), dest_view),
+            &self.sig,
+        ) {
             return false;
         }
         let Some(vd) = &self.vote else { return true };
@@ -215,7 +223,12 @@ pub enum FabMessage {
 impl Encode for FabMessage {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            FabMessage::Propose { value, view, cert, sig } => {
+            FabMessage::Propose {
+                value,
+                view,
+                cert,
+                sig,
+            } => {
                 buf.push(1);
                 value.encode(buf);
                 view.encode(buf);
@@ -257,8 +270,15 @@ impl Decode for FabMessage {
                 view: View::decode(r)?,
                 vote: FabSignedVote::decode(r)?,
             },
-            4 => FabMessage::Wish { view: View::decode(r)? },
-            tag => return Err(WireError::InvalidTag { tag, context: "FabMessage" }),
+            4 => FabMessage::Wish {
+                view: View::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    tag,
+                    context: "FabMessage",
+                })
+            }
         })
     }
 }
@@ -434,7 +454,13 @@ impl FabReplica {
         }
     }
 
-    fn on_vote(&mut self, from: ProcessId, view: View, vote: FabSignedVote, fx: &mut Effects<FabMessage>) {
+    fn on_vote(
+        &mut self,
+        from: ProcessId,
+        view: View,
+        vote: FabSignedVote,
+        fx: &mut Effects<FabMessage>,
+    ) {
         if vote.voter != from || self.cfg.leader(view) != self.id {
             return;
         }
@@ -477,7 +503,13 @@ impl FabReplica {
             self.votes_in.entry(v).or_default().insert(self.id, signed);
             self.try_lead(fx);
         } else {
-            fx.send(leader, FabMessage::Vote { view: v, vote: signed });
+            fx.send(
+                leader,
+                FabMessage::Vote {
+                    view: v,
+                    vote: signed,
+                },
+            );
         }
         if let Some((value, cert, sig)) = self.pending_proposes.remove(&v) {
             self.accept_proposal(value, cert, sig, fx);
@@ -541,9 +573,12 @@ impl Actor<FabMessage> for FabReplica {
 
     fn on_message(&mut self, from: ProcessId, msg: FabMessage, fx: &mut Effects<FabMessage>) {
         match msg {
-            FabMessage::Propose { value, view, cert, sig } => {
-                self.on_propose(from, value, view, cert, sig, fx)
-            }
+            FabMessage::Propose {
+                value,
+                view,
+                cert,
+                sig,
+            } => self.on_propose(from, value, view, cert, sig, fx),
             FabMessage::Ack { value, view } => self.on_ack(from, value, view, fx),
             FabMessage::Vote { view, vote } => self.on_vote(from, view, vote, fx),
             FabMessage::Wish { view } => self.on_wish(from, view, fx),
@@ -710,8 +745,14 @@ mod tests {
                 cert: Some(vec![vote.clone()]),
                 sig: sig.clone(),
             },
-            FabMessage::Ack { value: x, view: View(1) },
-            FabMessage::Vote { view: View(2), vote },
+            FabMessage::Ack {
+                value: x,
+                view: View(1),
+            },
+            FabMessage::Vote {
+                view: View(2),
+                vote,
+            },
             FabMessage::Wish { view: View(3) },
         ] {
             fastbft_types::wire::roundtrip(&m);
@@ -738,19 +779,30 @@ mod tests {
             .iter()
             .map(|p| FabSignedVote::sign(p, Some(v1.clone()), View(2)))
             .collect();
-        assert!(verify_fab_cert(&cfg, &dir, &x, View(2), &Some(votes2.clone())));
+        assert!(verify_fab_cert(
+            &cfg,
+            &dir,
+            &x,
+            View(2),
+            &Some(votes2.clone())
+        ));
         let v2 = FabVoteData {
             value: x.clone(),
             view: View(2),
             cert: Some(votes2.clone()),
-            leader_sig: pairs[cfg.leader(View(2)).index()]
-                .sign(&fab_propose_payload(&x, View(2))),
+            leader_sig: pairs[cfg.leader(View(2)).index()].sign(&fab_propose_payload(&x, View(2))),
         };
         let votes3: Vec<FabSignedVote> = pairs[..5]
             .iter()
             .map(|p| FabSignedVote::sign(p, Some(v2.clone()), View(3)))
             .collect();
-        assert!(verify_fab_cert(&cfg, &dir, &x, View(3), &Some(votes3.clone())));
+        assert!(verify_fab_cert(
+            &cfg,
+            &dir,
+            &x,
+            View(3),
+            &Some(votes3.clone())
+        ));
         let size2 = votes2.to_wire_bytes().len();
         let size3 = votes3.to_wire_bytes().len();
         assert!(

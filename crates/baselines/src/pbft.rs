@@ -191,7 +191,12 @@ impl Encode for PbftMessage {
                 buf.push(4);
                 vc.encode(buf);
             }
-            PbftMessage::NewView { view, value, justification, sig } => {
+            PbftMessage::NewView {
+                view,
+                value,
+                justification,
+                sig,
+            } => {
                 buf.push(5);
                 view.encode(buf);
                 value.encode(buf);
@@ -226,7 +231,12 @@ impl Decode for PbftMessage {
                 justification: Vec::<SignedViewChange>::decode(r)?,
                 sig: Signature::decode(r)?,
             },
-            tag => return Err(WireError::InvalidTag { tag, context: "PbftMessage" }),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    tag,
+                    context: "PbftMessage",
+                })
+            }
         })
     }
 }
@@ -369,8 +379,7 @@ impl PbftReplica {
         let key = (view, value.clone());
         let tally = self.prepare_tally.entry(key).or_default();
         tally.insert(sig);
-        if tally.len() >= self.quorum() && view == self.view && !self.committed_in.contains(&view)
-        {
+        if tally.len() >= self.quorum() && view == self.view && !self.committed_in.contains(&view) {
             self.committed_in.insert(view);
             let cert = PreparedCert {
                 value: value.clone(),
@@ -406,10 +415,7 @@ impl PbftReplica {
         self.vc_sent.insert(target);
         let body = ViewChangeBody {
             new_view: target,
-            prepared: self
-                .prepared
-                .clone()
-                .filter(|cert| cert.view < target),
+            prepared: self.prepared.clone().filter(|cert| cert.view < target),
         };
         let vc = SignedViewChange::sign(&self.keys, body);
         fx.broadcast(PbftMessage::ViewChange(vc));
@@ -439,8 +445,7 @@ impl PbftReplica {
             && target >= self.view
         {
             self.nv_sent.insert(target);
-            let vcs: Vec<SignedViewChange> =
-                self.view_changes[&target].values().cloned().collect();
+            let vcs: Vec<SignedViewChange> = self.view_changes[&target].values().cloned().collect();
             let value = Self::choose_value(&vcs).unwrap_or_else(|| self.input.clone());
             let sig = self.keys.sign(&preprepare_payload(&value, target));
             fx.broadcast(PbftMessage::NewView {
@@ -540,9 +545,12 @@ impl Actor<PbftMessage> for PbftReplica {
             }
             PbftMessage::Commit { value, view } => self.on_commit(from, value, view, fx),
             PbftMessage::ViewChange(vc) => self.on_view_change(vc, fx),
-            PbftMessage::NewView { view, value, justification, sig } => {
-                self.on_new_view(from, view, value, justification, sig, fx)
-            }
+            PbftMessage::NewView {
+                view,
+                value,
+                justification,
+                sig,
+            } => self.on_new_view(from, view, value, justification, sig, fx),
         }
     }
 
@@ -675,9 +683,20 @@ mod tests {
             },
         );
         for msg in [
-            PbftMessage::PrePrepare { value: x.clone(), view: View(1), sig: sig.clone() },
-            PbftMessage::Prepare { value: x.clone(), view: View(1), sig: sig.clone() },
-            PbftMessage::Commit { value: x.clone(), view: View(1) },
+            PbftMessage::PrePrepare {
+                value: x.clone(),
+                view: View(1),
+                sig: sig.clone(),
+            },
+            PbftMessage::Prepare {
+                value: x.clone(),
+                view: View(1),
+                sig: sig.clone(),
+            },
+            PbftMessage::Commit {
+                value: x.clone(),
+                view: View(1),
+            },
             PbftMessage::ViewChange(vc.clone()),
             PbftMessage::NewView {
                 view: View(2),

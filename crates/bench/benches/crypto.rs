@@ -55,5 +55,11 @@ fn bench_certificates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_hmac, bench_sign_verify, bench_certificates);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_sign_verify,
+    bench_certificates
+);
 criterion_main!(benches);

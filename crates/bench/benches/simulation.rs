@@ -12,8 +12,9 @@ fn bench_fast_path(c: &mut Criterion) {
         let cfg = Config::new(n, f, t).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
             b.iter(|| {
-                let mut cluster =
-                    SimCluster::builder(*cfg).inputs_u64(vec![7; cfg.n()]).build();
+                let mut cluster = SimCluster::builder(*cfg)
+                    .inputs_u64(vec![7; cfg.n()])
+                    .build();
                 let report = cluster.run_until_all_decide();
                 assert!(report.all_decided);
                 report.decision_delays_max()
@@ -48,5 +49,10 @@ fn bench_lower_bound(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fast_path, bench_view_change, bench_lower_bound);
+criterion_group!(
+    benches,
+    bench_fast_path,
+    bench_view_change,
+    bench_lower_bound
+);
 criterion_main!(benches);

@@ -11,7 +11,10 @@ use fastbft_types::{Value, View};
 fn bench_wire(c: &mut Criterion) {
     let (pairs, _) = KeyDirectory::generate(8, 1);
     let x = Value::from_u64(7);
-    let ack = Message::Ack(AckMsg { value: x.clone(), view: View(3) });
+    let ack = Message::Ack(AckMsg {
+        value: x.clone(),
+        view: View(3),
+    });
     let cert: SignatureSet = pairs[..3].iter().map(|p| p.sign(b"ca")).collect();
     let propose = Message::Propose(ProposeMsg {
         value: x,

@@ -25,7 +25,10 @@ fn main() {
     let x = Value::from_u64(1);
 
     println!("# E7 — progress certificate size vs view number (n = 4, f = t = 1)\n");
-    println!("{}", header(&["view", "naive cert (bytes)", "bounded cert (bytes)"]));
+    println!(
+        "{}",
+        header(&["view", "naive cert (bytes)", "bounded cert (bytes)"])
+    );
 
     // Structural chain: the certificate for view v is built from n − f
     // votes, each of which embeds the certificate for view v − 1.

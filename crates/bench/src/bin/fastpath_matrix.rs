@@ -29,7 +29,11 @@ fn run(n: usize, f: usize, t: usize, k: usize) -> u64 {
     assert_eq!(crashed, k, "not enough followers to crash");
     let mut cluster = builder.build();
     let report = cluster.run_until_all_decide();
-    assert!(report.all_decided, "undecided with k={k}: {:?}", report.violations);
+    assert!(
+        report.all_decided,
+        "undecided with k={k}: {:?}",
+        report.violations
+    );
     assert!(report.violations.is_empty());
     report.decision_delays_max()
 }
@@ -60,7 +64,10 @@ fn main() {
             if k <= t {
                 assert_eq!(delays, 2, "(n={n},f={f},t={t},k={k}) must stay fast");
             } else {
-                assert_eq!(delays, 3, "(n={n},f={f},t={t},k={k}) must fall back to slow");
+                assert_eq!(
+                    delays, 3,
+                    "(n={n},f={f},t={t},k={k}) must fall back to slow"
+                );
             }
         }
     }

@@ -19,8 +19,14 @@ fn main() {
     print!("{}", cluster.trace().render_flow(report.delta));
 
     println!("\nobservations:");
-    println!("  decided value        : {:?}", report.unanimous_decision().unwrap());
-    println!("  decision latency     : {} message delays", report.decision_delays_max());
+    println!(
+        "  decided value        : {:?}",
+        report.unanimous_decision().unwrap()
+    );
+    println!(
+        "  decision latency     : {} message delays",
+        report.decision_delays_max()
+    );
     println!("  messages             : {}", report.stats.messages);
     for (kind, (count, bytes)) in &report.stats.by_kind {
         println!("    {kind:<10} {count:>4} msgs {bytes:>7} B");

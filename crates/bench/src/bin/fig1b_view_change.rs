@@ -26,9 +26,14 @@ fn main() {
     print!("{}", cluster.trace().render_flow(report.delta));
 
     println!("\nobservations:");
-    println!("  decided value  : {:?}", report.unanimous_decision().unwrap());
-    println!("  total latency  : {} message delays (timeout + view change + fast path)",
-        report.decision_delays_max());
+    println!(
+        "  decided value  : {:?}",
+        report.unanimous_decision().unwrap()
+    );
+    println!(
+        "  total latency  : {} message delays (timeout + view change + fast path)",
+        report.decision_delays_max()
+    );
     for (kind, (count, bytes)) in &report.stats.by_kind {
         println!("    {kind:<10} {count:>4} msgs {bytes:>7} B");
     }

@@ -13,8 +13,11 @@ use fastbft_types::{Config, ProcessId, Value};
 fn main() {
     println!("# E3 / Figure 5 — slow path (n = 7, f = 2, t = 1, two silent followers)\n");
     let cfg = Config::new(7, 2, 1).expect("7 = 3f + 2t - 1 for f=2, t=1");
-    println!("fast quorum (n-t) = {}, slow quorum ⌈(n+f+1)/2⌉ = {}\n",
-        cfg.fast_quorum(), cfg.slow_quorum());
+    println!(
+        "fast quorum (n-t) = {}, slow quorum ⌈(n+f+1)/2⌉ = {}\n",
+        cfg.fast_quorum(),
+        cfg.slow_quorum()
+    );
 
     // Two silent processes (p5, p6) — neither is the view-1 leader (p2).
     let mut cluster = SimCluster::builder(cfg)
@@ -28,8 +31,14 @@ fn main() {
     print!("{}", cluster.trace().render_flow(report.delta));
 
     println!("\nobservations:");
-    println!("  decided value  : {:?}", report.unanimous_decision().unwrap());
-    println!("  latency        : {} message delays", report.decision_delays_max());
+    println!(
+        "  decided value  : {:?}",
+        report.unanimous_decision().unwrap()
+    );
+    println!(
+        "  latency        : {} message delays",
+        report.decision_delays_max()
+    );
     for (kind, (count, bytes)) in &report.stats.by_kind {
         println!("    {kind:<10} {count:>4} msgs {bytes:>7} B");
     }
@@ -40,8 +49,14 @@ fn main() {
         3,
         "slow path: three message delays when t < failures <= f"
     );
-    assert!(report.stats.by_kind.contains_key("sig"), "signature shares sent");
-    assert!(report.stats.by_kind.contains_key("Commit"), "Commit round ran");
+    assert!(
+        report.stats.by_kind.contains_key("sig"),
+        "signature shares sent"
+    );
+    assert!(
+        report.stats.by_kind.contains_key("Commit"),
+        "Commit round ran"
+    );
     assert!(report.violations.is_empty());
     println!("\nslow path reproduced: decide after three message delays via commit certificates ✓");
 }

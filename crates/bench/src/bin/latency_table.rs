@@ -14,9 +14,7 @@ use fastbft_types::{Config, ProcessId, ProtocolKind, Value};
 fn ktz(f: usize, t: usize) -> (usize, u64, usize) {
     let n = ProtocolKind::Ktz.min_n(f, t);
     let cfg = Config::new(n, f, t).unwrap();
-    let mut cluster = SimCluster::builder(cfg)
-        .inputs_u64(vec![7; n])
-        .build();
+    let mut cluster = SimCluster::builder(cfg).inputs_u64(vec![7; n]).build();
     let report = cluster.run_until_all_decide();
     assert!(report.violations.is_empty() && report.all_decided);
     (n, report.decision_delays_max(), report.stats.messages)
@@ -33,7 +31,7 @@ fn fab(f: usize, t: usize) -> (usize, u64, usize) {
             keys,
             dir.clone(),
             Value::from_u64(7),
-            )));
+        )));
     }
     sim.start();
     let all: Vec<ProcessId> = (1..=n as u32).map(ProcessId).collect();
@@ -44,7 +42,11 @@ fn fab(f: usize, t: usize) -> (usize, u64, usize) {
         .map(|(_, t, _)| t.0.div_ceil(SimDuration::DELTA.0))
         .max()
         .unwrap();
-    (n, delays, sim.trace().message_stats(SimTime::NEVER).messages)
+    (
+        n,
+        delays,
+        sim.trace().message_stats(SimTime::NEVER).messages,
+    )
 }
 
 fn pbft(f: usize) -> (usize, u64, usize) {
@@ -58,7 +60,7 @@ fn pbft(f: usize) -> (usize, u64, usize) {
             keys,
             dir.clone(),
             Value::from_u64(7),
-            )));
+        )));
     }
     sim.start();
     let all: Vec<ProcessId> = (1..=n as u32).map(ProcessId).collect();
@@ -69,7 +71,11 @@ fn pbft(f: usize) -> (usize, u64, usize) {
         .map(|(_, t, _)| t.0.div_ceil(SimDuration::DELTA.0))
         .max()
         .unwrap();
-    (n, delays, sim.trace().message_stats(SimTime::NEVER).messages)
+    (
+        n,
+        delays,
+        sim.trace().message_stats(SimTime::NEVER).messages,
+    )
 }
 
 fn main() {
@@ -77,10 +83,17 @@ fn main() {
     println!(
         "{}",
         header(&[
-            "f", "t",
-            "KTZ21 n", "KTZ21 delays", "KTZ21 msgs",
-            "FaB n", "FaB delays", "FaB msgs",
-            "PBFT n", "PBFT delays", "PBFT msgs",
+            "f",
+            "t",
+            "KTZ21 n",
+            "KTZ21 delays",
+            "KTZ21 msgs",
+            "FaB n",
+            "FaB delays",
+            "FaB msgs",
+            "PBFT n",
+            "PBFT delays",
+            "PBFT msgs",
         ])
     );
     for f in 1..=3usize {
@@ -91,10 +104,17 @@ fn main() {
             println!(
                 "{}",
                 row(&[
-                    f.to_string(), t.to_string(),
-                    kn.to_string(), kd.to_string(), km.to_string(),
-                    fnn.to_string(), fd.to_string(), fm.to_string(),
-                    pn.to_string(), pd.to_string(), pm.to_string(),
+                    f.to_string(),
+                    t.to_string(),
+                    kn.to_string(),
+                    kd.to_string(),
+                    km.to_string(),
+                    fnn.to_string(),
+                    fd.to_string(),
+                    fm.to_string(),
+                    pn.to_string(),
+                    pd.to_string(),
+                    pm.to_string(),
                 ])
             );
             assert_eq!(kd, 2, "KTZ21 is two-step");

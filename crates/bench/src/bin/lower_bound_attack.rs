@@ -28,7 +28,10 @@ fn main() {
         println!("  disagreement : {}", outcome.disagreement);
         println!("  violations   : {:?}\n", outcome.violations);
         if n == below_bound_n() {
-            assert!(outcome.disagreement, "the attack must succeed below the bound");
+            assert!(
+                outcome.disagreement,
+                "the attack must succeed below the bound"
+            );
         } else {
             assert!(!outcome.disagreement, "the attack must fail at the bound");
             assert!(outcome.violations.is_empty());

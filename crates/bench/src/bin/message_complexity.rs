@@ -33,7 +33,7 @@ fn fab_stats(f: usize, t: usize) -> (usize, MessageStats) {
             keys,
             dir.clone(),
             Value::from_u64(7),
-            )));
+        )));
     }
     sim.start();
     let all: Vec<ProcessId> = (1..=n as u32).map(ProcessId).collect();
@@ -52,7 +52,7 @@ fn pbft_stats(f: usize) -> (usize, MessageStats) {
             keys,
             dir.clone(),
             Value::from_u64(7),
-            )));
+        )));
     }
     sim.start();
     let all: Vec<ProcessId> = (1..=n as u32).map(ProcessId).collect();

@@ -13,7 +13,10 @@ use fastbft_types::{Config, ProcessId, ProtocolKind, Value};
 
 fn main() {
     println!("# E5 — minimum processes for f-resilient, t-fast Byzantine consensus\n");
-    println!("{}", header(&["f", "t", "KTZ21 (this paper)", "FaB Paxos", "PBFT (3-step)"]));
+    println!(
+        "{}",
+        header(&["f", "t", "KTZ21 (this paper)", "FaB Paxos", "PBFT (3-step)"])
+    );
     for f in 1..=4usize {
         for t in 1..=f {
             println!(
@@ -51,7 +54,7 @@ fn main() {
             keys,
             dir.clone(),
             Value::from_u64(7),
-            )));
+        )));
     }
     sim.start();
     let all: Vec<ProcessId> = (1..=6).map(ProcessId).collect();
@@ -68,7 +71,7 @@ fn main() {
             keys,
             dir.clone(),
             Value::from_u64(7),
-            )));
+        )));
     }
     sim.start();
     let all: Vec<ProcessId> = (1..=4).map(ProcessId).collect();

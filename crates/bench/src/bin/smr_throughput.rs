@@ -64,7 +64,10 @@ fn wall_clock_latency(n: usize, f: usize, t: usize, runs: usize) -> Duration {
 fn main() {
     println!("# E9 — SMR throughput (simulated) and consensus latency (threads)\n");
 
-    println!("{}", header(&["config", "batch", "commands applied", "commands per Δ"]));
+    println!(
+        "{}",
+        header(&["config", "batch", "commands applied", "commands per Δ"])
+    );
     for (n, f, t) in [(4usize, 1usize, 1usize), (8, 2, 1)] {
         for batch in [1usize, 8, 32] {
             let (applied, per_delta) = simulated_throughput(n, f, t, batch, 96);

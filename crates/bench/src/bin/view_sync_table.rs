@@ -19,7 +19,10 @@ fn main() {
     let cfg = Config::vanilla(9, 2).unwrap();
 
     println!("## decision time vs GST (pre-GST delays up to 10Δ, seed-averaged)\n");
-    println!("{}", header(&["GST (Δ)", "decided (Δ after GST, max over 5 seeds)"]));
+    println!(
+        "{}",
+        header(&["GST (Δ)", "decided (Δ after GST, max over 5 seeds)"])
+    );
     for gst_delta in [0u64, 5, 20, 50] {
         let gst = SimTime(gst_delta * delta.0);
         let mut worst = 0u64;
@@ -32,19 +35,17 @@ fn main() {
             let report = cluster.run_until_all_decide();
             assert!(report.all_decided, "must decide after GST (seed {seed})");
             assert!(report.violations.is_empty());
-            let decided_at = report
-                .decisions
-                .iter()
-                .map(|(_, t, _)| t.0)
-                .max()
-                .unwrap();
+            let decided_at = report.decisions.iter().map(|(_, t, _)| t.0).max().unwrap();
             worst = worst.max(decided_at.saturating_sub(gst.0).div_ceil(delta.0));
         }
         println!("{}", row(&[gst_delta.to_string(), worst.to_string()]));
     }
 
     println!("\n## Byzantine leader cascades (synchronous network)\n");
-    println!("{}", header(&["silent leaders", "views crossed", "decided at (Δ)"]));
+    println!(
+        "{}",
+        header(&["silent leaders", "views crossed", "decided at (Δ)"])
+    );
     for k in 0..=2usize {
         // Make the leaders of views 1..=k silent (round-robin map).
         let mut builder = SimCluster::builder(cfg).inputs_u64(vec![4; 9]);

@@ -1,12 +1,13 @@
 //! Experiment harnesses reproducing the paper's figures and claims.
 //!
 //! This crate hosts no library logic of its own — see the `src/bin/`
-//! binaries (one per experiment, indexed in `DESIGN.md` §5 and recorded in
-//! `EXPERIMENTS.md`) and the Criterion benches under `benches/`.
+//! binaries (one per experiment, mapped onto the paper's figures and tables
+//! in `docs/ARCHITECTURE.md`) and the Criterion benches under `benches/`.
 //!
 //! Shared helpers for the binaries live here.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use fastbft_sim::SimDuration;
 
@@ -21,6 +22,9 @@ pub fn row(cells: &[String]) -> String {
 /// Renders a markdown-style header + separator.
 pub fn header(cells: &[&str]) -> String {
     let head = format!("| {} |", cells.join(" | "));
-    let sep = format!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let sep = format!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     format!("{head}\n{sep}")
 }

@@ -1,0 +1,246 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`Bencher::iter`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — so
+//! `cargo bench` compiles and runs without registry access.
+//!
+//! Instead of criterion's statistical engine, each benchmark is warmed up
+//! briefly and then timed for a fixed budget (~60 ms, or the
+//! `FASTBFT_BENCH_MS` env var); the mean time per iteration is printed with
+//! derived throughput when declared. Good enough to rank hot paths; use the
+//! real crate for publishable numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measures closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    measure_for: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one call, also used to size the batch.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+
+        let batch =
+            (Duration::from_millis(1).as_nanos() / first.as_nanos()).clamp(1, 10_000) as u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measure_for {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Identifies a benchmark within a group: a function name, a parameter, or
+/// both.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` for input `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified only by its input parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported as MiB/s).
+    Bytes(u64),
+    /// Elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+}
+
+/// Entry point handed to each bench function.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("FASTBFT_BENCH_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(60u64);
+        Criterion {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+fn report(label: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let per_iter = if mean_ns >= 1_000_000.0 {
+        format!("{:.3} ms", mean_ns / 1_000_000.0)
+    } else if mean_ns >= 1_000.0 {
+        format!("{:.3} µs", mean_ns / 1_000.0)
+    } else {
+        format!("{mean_ns:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mibs = bytes as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+            println!("bench {label:<40} {per_iter:>12}/iter  {mibs:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(elems)) => {
+            let melems = elems as f64 / (mean_ns / 1e9) / 1e6;
+            println!("bench {label:<40} {per_iter:>12}/iter  {melems:>10.2} Melem/s");
+        }
+        None => println!("bench {label:<40} {per_iter:>12}/iter"),
+    }
+}
+
+impl Criterion {
+    fn run_one(
+        &mut self,
+        label: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut b = Bencher {
+            measure_for: self.measure_for,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            report(label, b.mean_ns, throughput);
+        } else {
+            println!("bench {label:<40} (no measurement — iter was never called)");
+        }
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        self.run_one(&name, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much data one iteration of subsequent benchmarks
+    /// processes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` as `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` as `group_name/id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a named group of benchmark functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its core types as a
+//! forward-looking annotation, but all actual encoding goes through the
+//! canonical codec in `fastbft_types::wire` (signatures require one
+//! canonical byte encoding, which serde formats do not promise). Until a
+//! serde-backed transport exists, the derives are no-ops re-exported from
+//! the shim `serde_derive`, and the traits here are markers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

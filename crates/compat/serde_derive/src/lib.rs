@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (nothing calls a
+//! serializer yet — the wire format is the hand-rolled canonical codec in
+//! `fastbft_types::wire`), so these derives expand to nothing. They accept
+//! the `#[serde(...)]` helper attribute so annotations like
+//! `#[serde(default)]` parse.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -141,8 +141,9 @@ impl RandomByzantine {
             3 => {
                 // A commit certificate made only of our own signature: it
                 // will fail quorum verification — receivers must reject it.
-                let sigs: SignatureSet =
-                    [self.keys.sign(&ack_payload(&value, view))].into_iter().collect();
+                let sigs: SignatureSet = [self.keys.sign(&ack_payload(&value, view))]
+                    .into_iter()
+                    .collect();
                 Message::Commit(CommitMsg {
                     cert: CommitCert { value, view, sigs },
                 })
@@ -267,7 +268,9 @@ mod tests {
         let mut zeros = 0;
         let mut ones = 0;
         for (to, m) in fx.sent() {
-            let Message::Propose(p) = m else { panic!("non-propose") };
+            let Message::Propose(p) = m else {
+                panic!("non-propose")
+            };
             // Each proposal individually verifies.
             assert!(dir.verify(&propose_payload(&p.value, p.view), &p.sig));
             match p.value.as_u64() {

@@ -297,9 +297,7 @@ impl SimCluster {
         self.ensure_started();
         self.sim.run_until(t);
         let correct = self.correct_processes();
-        let all = correct
-            .iter()
-            .all(|p| self.sim.decision(*p).is_some());
+        let all = correct.iter().all(|p| self.sim.decision(*p).is_some());
         self.report(all)
     }
 

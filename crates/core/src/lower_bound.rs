@@ -159,13 +159,23 @@ pub fn run_attack(n: usize, seed: u64) -> AttackOutcome {
     // send ack(1) to P3 only, exactly as the correct p of ρ1 would have
     // looked *to P3*; silence to everyone else. In the ρ3 continuation it
     // helps steer the decision to 0 by acking the new proposal.
-    let ack_one_v1 = Message::Ack(AckMsg { value: one.clone(), view: v1 });
-    let ack_zero_v2 = Message::Ack(AckMsg { value: zero.clone(), view: v2 });
+    let ack_one_v1 = Message::Ack(AckMsg {
+        value: one.clone(),
+        view: v1,
+    });
+    let ack_zero_v2 = Message::Ack(AckMsg {
+        value: zero.clone(),
+        view: v2,
+    });
     let p_script = ScriptedActor::silent()
         .with_multicast_at(SimTime::ZERO, p1_group, propose_zero.clone())
         .with_multicast_at(SimTime::ZERO, rest.iter().copied(), propose_one.clone())
         .with_send_at(SimTime(delta.0), FAST_DECIDER, ack_one_v1.clone())
-        .with_multicast_at(SimTime(13 * delta.0), all.iter().copied(), ack_zero_v2.clone());
+        .with_multicast_at(
+            SimTime(13 * delta.0),
+            all.iter().copied(),
+            ack_zero_v2.clone(),
+        );
 
     // P2 = p4: pretend state t2 (acked 1) to P3, state s2 (acked 0) to the
     // others; vote for (0, view 1) in the view change with p's genuine τ;
@@ -193,14 +203,24 @@ pub fn run_attack(n: usize, seed: u64) -> AttackOutcome {
         .with_multicast_at(
             SimTime(delta.0),
             others_not_5.iter().copied(),
-            Message::Ack(AckMsg { value: zero.clone(), view: v1 }),
+            Message::Ack(AckMsg {
+                value: zero.clone(),
+                view: v1,
+            }),
         )
         .with_send_at(
             SimTime(9 * delta.0),
             leader_v2,
-            Message::Vote(VoteMsg { view: v2, vote: p4_vote }),
+            Message::Vote(VoteMsg {
+                view: v2,
+                vote: p4_vote,
+            }),
         )
-        .with_multicast_at(SimTime(13 * delta.0), all.iter().copied(), ack_zero_v2.clone());
+        .with_multicast_at(
+            SimTime(13 * delta.0),
+            all.iter().copied(),
+            ack_zero_v2.clone(),
+        );
 
     for p in cfg.processes() {
         if p == ProcessId(2) {
@@ -222,10 +242,7 @@ pub fn run_attack(n: usize, seed: u64) -> AttackOutcome {
     }
 
     sim.start();
-    let correct: Vec<ProcessId> = cfg
-        .processes()
-        .filter(|p| !BYZANTINE.contains(p))
-        .collect();
+    let correct: Vec<ProcessId> = cfg.processes().filter(|p| !BYZANTINE.contains(p)).collect();
     sim.run_until_all_decide(&correct, HORIZON);
     // Let the T_LATE flood settle so duplicate decisions surface.
     sim.run_until(HORIZON);
@@ -282,7 +299,11 @@ mod tests {
             .iter()
             .filter(|(_, _, v)| *v == Value::from_u64(0))
             .count();
-        assert!(zeros >= 5, "the ρ3 continuation decides 0: {:?}", outcome.decisions);
+        assert!(
+            zeros >= 5,
+            "the ρ3 continuation decides 0: {:?}",
+            outcome.decisions
+        );
     }
 
     /// The same adversary at n = 3f + 2t − 1: the fast decision still
@@ -291,7 +312,10 @@ mod tests {
     #[test]
     fn attack_fails_at_the_bound() {
         let outcome = run_attack(at_bound_n(), 1);
-        let (t, v) = outcome.fast_decision.clone().expect("P3 still decides fast");
+        let (t, v) = outcome
+            .fast_decision
+            .clone()
+            .expect("P3 still decides fast");
         assert_eq!(v, Value::from_u64(1));
         assert_eq!(t, SimTime(2 * DELTA.0));
         assert!(!outcome.disagreement, "decisions: {:?}", outcome.decisions);

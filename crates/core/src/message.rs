@@ -29,7 +29,12 @@ pub struct ProposeMsg {
     /// `τ̂ = sign_{leader(v)}((propose, x̂, v))`.
     pub sig: Signature,
 }
-fastbft_types::impl_wire_struct!(ProposeMsg { value, view, cert, sig });
+fastbft_types::impl_wire_struct!(ProposeMsg {
+    value,
+    view,
+    cert,
+    sig
+});
 
 /// `ack(x̂, v)`: sent to every process after accepting a proposal; `n − t`
 /// of them decide the value.
@@ -181,7 +186,12 @@ impl Decode for Message {
             6 => Message::CertRequest(CertRequestMsg::decode(r)?),
             7 => Message::CertAck(CertAckMsg::decode(r)?),
             8 => Message::Wish(WishMsg::decode(r)?),
-            tag => return Err(WireError::InvalidTag { tag, context: "Message" }),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    tag,
+                    context: "Message",
+                })
+            }
         })
     }
 }
@@ -226,7 +236,10 @@ mod tests {
                 cert: ProgressCert::Genesis,
                 sig: sig.clone(),
             }),
-            Message::Ack(AckMsg { value: x.clone(), view: v }),
+            Message::Ack(AckMsg {
+                value: x.clone(),
+                view: v,
+            }),
             Message::SigShare(SigShareMsg {
                 value: x.clone(),
                 view: v,
@@ -239,7 +252,10 @@ mod tests {
                     sigs: [sig.clone()].into_iter().collect(),
                 },
             }),
-            Message::Vote(VoteMsg { view: v, vote: sv.clone() }),
+            Message::Vote(VoteMsg {
+                view: v,
+                vote: sv.clone(),
+            }),
             Message::CertRequest(CertRequestMsg {
                 view: v,
                 value: x.clone(),
@@ -266,13 +282,25 @@ mod tests {
         let x = Value::from_u64(1);
         let sig = pairs[0].sign(b"s");
         let kinds = [
-            Message::Ack(AckMsg { value: x.clone(), view: View(1) }).kind(),
+            Message::Ack(AckMsg {
+                value: x.clone(),
+                view: View(1),
+            })
+            .kind(),
             Message::Wish(WishMsg { view: View(1) }).kind(),
-            Message::SigShare(SigShareMsg { value: x, view: View(1), sig }).kind(),
+            Message::SigShare(SigShareMsg {
+                value: x,
+                view: View(1),
+                sig,
+            })
+            .kind(),
         ];
         assert_eq!(
             kinds.len(),
-            kinds.iter().collect::<std::collections::BTreeSet<_>>().len()
+            kinds
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
         );
     }
 

@@ -119,12 +119,7 @@ pub struct Replica {
 
 impl Replica {
     /// Creates a replica with default options.
-    pub fn new(
-        cfg: Config,
-        keys: KeyPair,
-        dir: KeyDirectory,
-        input: Value,
-    ) -> Self {
+    pub fn new(cfg: Config, keys: KeyPair, dir: KeyDirectory, input: Value) -> Self {
         Replica::with_options(cfg, keys, dir, input, ReplicaOptions::default())
     }
 
@@ -224,10 +219,7 @@ impl Replica {
     fn current_vote_for(&self, dest_view: View) -> Vote {
         let mut vote = self.vote.clone();
         if let Some(vd) = &mut vote {
-            vd.commit_cert = self
-                .latest_cc
-                .clone()
-                .filter(|cc| cc.view < dest_view);
+            vd.commit_cert = self.latest_cc.clone().filter(|cc| cc.view < dest_view);
         }
         vote
     }
@@ -254,7 +246,13 @@ impl Replica {
             });
             self.try_leader_progress(fx);
         } else {
-            fx.send(leader, Message::Vote(VoteMsg { view: v, vote: signed }));
+            fx.send(
+                leader,
+                Message::Vote(VoteMsg {
+                    view: v,
+                    vote: signed,
+                }),
+            );
         }
 
         // A proposal for this view may have arrived while we lagged behind.
@@ -319,10 +317,7 @@ impl Replica {
     }
 
     fn on_ack(&mut self, from: ProcessId, a: AckMsg, fx: &mut Effects<Message>) {
-        let senders = self
-            .ack_tally
-            .entry((a.view, a.value.clone()))
-            .or_default();
+        let senders = self.ack_tally.entry((a.view, a.value.clone())).or_default();
         senders.insert(from);
         if senders.len() >= self.cfg.fast_quorum() {
             let value = a.value.clone();
@@ -468,7 +463,9 @@ impl Replica {
         if ls.proposed || !ls.requested {
             return;
         }
-        let Some(value) = ls.selected.clone() else { return };
+        let Some(value) = ls.selected.clone() else {
+            return;
+        };
         if ls.certacks.len() < self.cfg.cert_quorum() {
             return;
         }
@@ -476,7 +473,12 @@ impl Replica {
         let view = ls.view;
         let cert = ProgressCert::Bounded(ls.certacks.clone());
         let sig = self.keys.sign(&propose_payload(&value, view));
-        fx.broadcast(Message::Propose(ProposeMsg { value, view, cert, sig }));
+        fx.broadcast(Message::Propose(ProposeMsg {
+            value,
+            view,
+            cert,
+            sig,
+        }));
     }
 
     fn on_cert_request(&mut self, from: ProcessId, req: CertRequestMsg, fx: &mut Effects<Message>) {
@@ -645,13 +647,14 @@ mod tests {
         (cfg, pairs, dir)
     }
 
-    fn replica(cfg: &Config, pairs: &[KeyPair], dir: &KeyDirectory, i: usize, input: u64) -> Replica {
-        Replica::new(
-            *cfg,
-            pairs[i].clone(),
-            dir.clone(),
-            Value::from_u64(input),
-        )
+    fn replica(
+        cfg: &Config,
+        pairs: &[KeyPair],
+        dir: &KeyDirectory,
+        i: usize,
+        input: u64,
+    ) -> Replica {
+        Replica::new(*cfg, pairs[i].clone(), dir.clone(), Value::from_u64(input))
     }
 
     fn fx(id: u32, n: usize) -> Effects<Message> {
@@ -737,7 +740,10 @@ mod tests {
         for sender in [2u32, 3, 4] {
             r.on_message(
                 ProcessId(sender),
-                Message::Ack(AckMsg { value: x.clone(), view: View::FIRST }),
+                Message::Ack(AckMsg {
+                    value: x.clone(),
+                    view: View::FIRST,
+                }),
                 &mut buf,
             );
         }
@@ -754,7 +760,10 @@ mod tests {
         for _ in 0..5 {
             r.on_message(
                 ProcessId(2),
-                Message::Ack(AckMsg { value: x.clone(), view: View::FIRST }),
+                Message::Ack(AckMsg {
+                    value: x.clone(),
+                    view: View::FIRST,
+                }),
                 &mut buf,
             );
         }
@@ -926,9 +935,17 @@ mod tests {
         let mut r = replica(&cfg, &pairs, &dir, 0, 1);
         let mut buf = fx(1, 4);
         // f + 1 = 2 wishes adopt, 2f + 1 = 3 enter.
-        r.on_message(ProcessId(2), Message::Wish(WishMsg { view: View(5) }), &mut buf);
+        r.on_message(
+            ProcessId(2),
+            Message::Wish(WishMsg { view: View(5) }),
+            &mut buf,
+        );
         assert_eq!(r.view(), View::FIRST);
-        r.on_message(ProcessId(3), Message::Wish(WishMsg { view: View(5) }), &mut buf);
+        r.on_message(
+            ProcessId(3),
+            Message::Wish(WishMsg { view: View(5) }),
+            &mut buf,
+        );
         // Now we adopted the wish ourselves (counts as the third).
         assert_eq!(r.view(), View(5));
     }
@@ -957,7 +974,11 @@ mod tests {
         let _ = (cfg, dir);
         let x = Value::from_u64(1);
         assert_eq!(
-            Message::Ack(AckMsg { value: x.clone(), view: View(1) }).kind(),
+            Message::Ack(AckMsg {
+                value: x.clone(),
+                view: View(1)
+            })
+            .kind(),
             "ack"
         );
         assert_eq!(

@@ -80,7 +80,11 @@ pub enum SelectionError {
 impl std::fmt::Display for SelectionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SelectionError::NeedMoreVotes { have, need, excluded } => write!(
+            SelectionError::NeedMoreVotes {
+                have,
+                need,
+                excluded,
+            } => write!(
                 f,
                 "need {need} votes from non-equivocators, have {have} ({} excluded)",
                 excluded.len()
@@ -104,7 +108,9 @@ pub fn select(
     votes: &BTreeMap<ProcessId, SignedVote>,
 ) -> Result<SelectionResult, SelectionError> {
     let mut excluded: BTreeSet<ProcessId> = BTreeSet::new();
-    debug_assert!(votes.values().all(|sv| sv.vote.as_ref().is_none_or(|vd| vd.view < dest_view)));
+    debug_assert!(votes
+        .values()
+        .all(|sv| sv.vote.as_ref().is_none_or(|vd| vd.view < dest_view)));
 
     loop {
         let active: Vec<&SignedVote> = votes
@@ -189,10 +195,7 @@ pub fn select(
         for (_, vd) in non_nil.iter().filter(|(_, vd)| vd.view == w) {
             *counts.entry(&vd.value).or_insert(0) += 1;
         }
-        if let Some((x, _)) = counts
-            .iter()
-            .find(|(_, c)| **c >= cfg.selection_quorum())
-        {
+        if let Some((x, _)) = counts.iter().find(|(_, c)| **c >= cfg.selection_quorum()) {
             return Ok(SelectionResult {
                 outcome: Outcome::Constrained((*x).clone()),
                 rationale: Rationale::QuorumAtW,
@@ -325,7 +328,11 @@ mod tests {
         let votes: BTreeMap<_, _> = [vote(1, 7, 1), vote(2, 8, 1), nil_vote(3)].into();
         let err = select(&cfg_n4(), View(2), &votes).unwrap_err();
         match err {
-            SelectionError::NeedMoreVotes { excluded, have, need } => {
+            SelectionError::NeedMoreVotes {
+                excluded,
+                have,
+                need,
+            } => {
                 assert!(excluded.contains(&ProcessId(2)));
                 assert_eq!((have, need), (2, 3));
             }
@@ -413,13 +420,8 @@ mod tests {
         // excluding p2, the remaining votes still include two values at
         // view 1 (from p1 and p4) — but the equivocator is already excluded,
         // so the case analysis proceeds at w = 1.
-        let votes: BTreeMap<_, _> = [
-            vote(1, 7, 1),
-            vote(2, 8, 1),
-            vote(4, 8, 1),
-            nil_vote(3),
-        ]
-        .into();
+        let votes: BTreeMap<_, _> =
+            [vote(1, 7, 1), vote(2, 8, 1), vote(4, 8, 1), nil_vote(3)].into();
         let r = select(&cfg_n4(), View(2), &votes).unwrap();
         // selection quorum (f + t = 2): value 8 has 2 votes (p2 excluded →
         // p4 only)… p4's single vote is not enough; value 7 has 1. Free.
@@ -433,13 +435,8 @@ mod tests {
         // vote, remaining at w=2: p1 votes 7. Case analysis at w = 2 with 1
         // vote < quorum → Free. The cc check and counting happen at the new
         // active set.
-        let votes: BTreeMap<_, _> = [
-            vote(1, 7, 2),
-            vote(3, 8, 2),
-            vote(4, 5, 1),
-            nil_vote(2),
-        ]
-        .into();
+        let votes: BTreeMap<_, _> =
+            [vote(1, 7, 2), vote(3, 8, 2), vote(4, 5, 1), nil_vote(2)].into();
         let r = select(&cfg_n4(), View(3), &votes).unwrap();
         assert!(r.excluded.contains(&ProcessId(3)));
         assert_eq!(r.w, Some(View(2)));

@@ -87,6 +87,9 @@ mod tests {
             crate::lower_bound::below_bound_n() + 1,
             integrated_role_bound(2, 2)
         );
-        assert_eq!(crate::lower_bound::at_bound_n(), integrated_role_bound(2, 2));
+        assert_eq!(
+            crate::lower_bound::at_bound_n(),
+            integrated_role_bound(2, 2)
+        );
     }
 }

@@ -13,7 +13,11 @@ fn assert_safe_and_live(report: &fastbft_core::Report, label: &str) {
         .filter(|v| !matches!(v, Violation::Undecided { .. }))
         .collect();
     assert!(safety.is_empty(), "{label}: safety violations {safety:?}");
-    assert!(report.all_decided, "{label}: liveness failed {:?}", report.violations);
+    assert!(
+        report.all_decided,
+        "{label}: liveness failed {:?}",
+        report.violations
+    );
 }
 
 /// Crash each single process at each phase boundary of the fast path
@@ -42,10 +46,10 @@ fn crash_sweep_pairs() {
     let l1 = cfg.leader(View(1));
     let l2 = cfg.leader(View(2));
     let pairs = [
-        (l1, 0u64, l2, 0u64),         // both early leaders dead from the start
-        (l1, 100, l2, 900),           // leader dies at Δ, next leader later
+        (l1, 0u64, l2, 0u64),                   // both early leaders dead from the start
+        (l1, 100, l2, 900),                     // leader dies at Δ, next leader later
         (ProcessId(5), 100, ProcessId(8), 100), // two followers at Δ
-        (l1, 200, ProcessId(6), 150), // leader after propose, follower mid-ack
+        (l1, 200, ProcessId(6), 150),           // leader after propose, follower mid-ack
     ];
     for (a, ta, b, tb) in pairs {
         let mut cluster = SimCluster::builder(cfg)
@@ -148,7 +152,11 @@ fn dead_leader_proposal_survives_via_slow_path() {
     assert_safe_and_live(&report, "dead leader + follower at Δ");
     // Decided the dead leader's proposal, on the slow path's schedule.
     assert_eq!(report.unanimous_decision(), Some(Value::from_u64(5)));
-    assert_eq!(report.decision_delays_max(), 3, "slow path, not view change");
+    assert_eq!(
+        report.decision_delays_max(),
+        3,
+        "slow path, not view change"
+    );
 }
 
 /// Decisions are stable: once the first process decides, later traffic

@@ -34,11 +34,7 @@ fn raw_vote(p: u32, vote: Option<(u64, u64)>) -> (ProcessId, SignedVote) {
 /// Strategy: a random vote set for `n = 9, f = t = 2`, destination view 4.
 /// Values in 0..3, views in 1..=3.
 fn vote_sets() -> impl Strategy<Value = BTreeMap<ProcessId, SignedVote>> {
-    proptest::collection::vec(
-        proptest::option::of((0u64..3, 1u64..=3)),
-        9,
-    )
-    .prop_map(|votes| {
+    proptest::collection::vec(proptest::option::of((0u64..3, 1u64..=3)), 9).prop_map(|votes| {
         votes
             .into_iter()
             .enumerate()

@@ -92,7 +92,10 @@ fn leader_certification_roundtrip() {
         .map(|(to, _)| to)
         .collect();
     assert_eq!(cert_reqs.len(), 3);
-    assert!(!cert_reqs.contains(&&ProcessId(3)), "no self request (self-certified)");
+    assert!(
+        !cert_reqs.contains(&&ProcessId(3)),
+        "no self request (self-certified)"
+    );
 
     // An invalid CertAck — wrong value — must not complete the certificate.
     let wrong = Value::from_u64(999);
@@ -144,7 +147,10 @@ fn leader_certification_roundtrip() {
     if let Message::Propose(p) = proposes[0] {
         assert_eq!(p.value, x);
         assert_eq!(p.view, View(2));
-        assert!(p.cert.verify(&cfg, &dir, &x, View(2)), "certificate must verify");
+        assert!(
+            p.cert.verify(&cfg, &dir, &x, View(2)),
+            "certificate must verify"
+        );
         assert!(matches!(p.cert, ProgressCert::Bounded(_)));
     }
 }
@@ -223,7 +229,10 @@ fn cert_request_verifier_paths() {
         }),
         &mut buf,
     );
-    assert!(buf.sent().is_empty(), "must refuse to certify an unsafe value");
+    assert!(
+        buf.sent().is_empty(),
+        "must refuse to certify an unsafe value"
+    );
 
     // 5. The same votes with the *pinned* value: certified.
     let mut buf = fx(1);
@@ -268,14 +277,20 @@ fn leader_rejects_bad_votes() {
     let mut buf = fx(3);
     r.on_message(
         ProcessId(4),
-        Message::Vote(VoteMsg { view: View(2), vote: genuine }),
+        Message::Vote(VoteMsg {
+            view: View(2),
+            vote: genuine,
+        }),
         &mut buf,
     );
     // Vote for the wrong destination view: rejected.
     let stale = SignedVote::sign(&pairs[0], None, View(3));
     r.on_message(
         ProcessId(1),
-        Message::Vote(VoteMsg { view: View(2), vote: stale }),
+        Message::Vote(VoteMsg {
+            view: View(2),
+            vote: stale,
+        }),
         &mut buf,
     );
     // Tampered signature: rejected.
@@ -283,13 +298,18 @@ fn leader_rejects_bad_votes() {
     forged.sig = Signature::from_parts(ProcessId(1), [9u8; 32]);
     r.on_message(
         ProcessId(1),
-        Message::Vote(VoteMsg { view: View(2), vote: forged }),
+        Message::Vote(VoteMsg {
+            view: View(2),
+            vote: forged,
+        }),
         &mut buf,
     );
     // None of those advanced the leader past vote collection: only the
     // leader's own vote is in, so no CertRequest went out.
     assert!(
-        !buf.sent().iter().any(|(_, m)| matches!(m, Message::CertRequest(_))),
+        !buf.sent()
+            .iter()
+            .any(|(_, m)| matches!(m, Message::CertRequest(_))),
         "leader must still be waiting for valid votes"
     );
 }

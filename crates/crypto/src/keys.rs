@@ -138,7 +138,12 @@ impl KeyDirectory {
                 secret: k.clone(),
             })
             .collect();
-        (pairs, KeyDirectory { keys: Arc::new(keys) })
+        (
+            pairs,
+            KeyDirectory {
+                keys: Arc::new(keys),
+            },
+        )
     }
 
     /// Number of processes the directory knows about.

@@ -202,8 +202,10 @@ mod tests {
     #[test]
     fn signers_in_order() {
         let (pairs, _) = setup();
-        let set: SignatureSet =
-            [&pairs[3], &pairs[0], &pairs[2]].iter().map(|p| p.sign(b"s")).collect();
+        let set: SignatureSet = [&pairs[3], &pairs[0], &pairs[2]]
+            .iter()
+            .map(|p| p.sign(b"s"))
+            .collect();
         let signers: Vec<u32> = set.signers().map(|p| p.0).collect();
         assert_eq!(signers, vec![1, 3, 4]);
     }

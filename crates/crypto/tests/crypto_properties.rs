@@ -117,5 +117,8 @@ fn distinct_directories_do_not_cross_verify() {
     let (pairs_a, _dir_a) = KeyDirectory::generate(4, 1);
     let (_pairs_b, dir_b) = KeyDirectory::generate(4, 2);
     let sig = pairs_a[0].sign(b"m");
-    assert!(!dir_b.verify(b"m", &sig), "independent systems must not share keys");
+    assert!(
+        !dir_b.verify(b"m", &sig),
+        "independent systems must not share keys"
+    );
 }

@@ -108,7 +108,8 @@ fn run_node<M: SimMessage>(
                 let _ = peers[to.index()].send(Envelope::Peer(id, msg.clone()));
             }
             for (delay, timer) in fx.timers_set() {
-                let deadline = Instant::now() + tick.saturating_mul(delay.0.min(u32::MAX as u64) as u32);
+                let deadline =
+                    Instant::now() + tick.saturating_mul(delay.0.min(u32::MAX as u64) as u32);
                 timers.push(Reverse((deadline, timer.0)));
             }
             if let Some(value) = fx.decision_made() {
@@ -256,7 +257,10 @@ mod tests {
     fn silent_replica_does_not_block_consensus() {
         let cfg = Config::new(4, 1, 1).unwrap();
         // p4 silent (not the view-1 leader p2): fast path still works.
-        let cluster = spawn(replicas(cfg, &[3, 3, 3, 3], &[4]), Duration::from_micros(50));
+        let cluster = spawn(
+            replicas(cfg, &[3, 3, 3, 3], &[4]),
+            Duration::from_micros(50),
+        );
         let decisions = cluster.await_decisions(3, Duration::from_secs(10));
         cluster.shutdown();
         assert_eq!(decisions.len(), 3);
@@ -269,7 +273,10 @@ mod tests {
     fn silent_leader_recovers_in_real_time() {
         let cfg = Config::new(4, 1, 1).unwrap();
         // leader(1) = p2 silent: the view change must fire on real timers.
-        let cluster = spawn(replicas(cfg, &[5, 5, 5, 5], &[2]), Duration::from_micros(50));
+        let cluster = spawn(
+            replicas(cfg, &[5, 5, 5, 5], &[2]),
+            Duration::from_micros(50),
+        );
         let decisions = cluster.await_decisions(3, Duration::from_secs(30));
         cluster.shutdown();
         assert_eq!(decisions.len(), 3, "view change must recover");

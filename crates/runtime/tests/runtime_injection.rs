@@ -3,9 +3,9 @@
 
 use std::time::Duration;
 
+use fastbft_core::message::{AckMsg, Message, SigShareMsg};
 use fastbft_core::payload::ack_payload;
 use fastbft_core::replica::Replica;
-use fastbft_core::message::{AckMsg, Message, SigShareMsg};
 use fastbft_crypto::KeyDirectory;
 use fastbft_runtime::spawn;
 use fastbft_sim::Actor;
@@ -42,7 +42,10 @@ fn injected_acks_cannot_forge_decisions() {
             cluster.inject(
                 ProcessId(from),
                 ProcessId(1),
-                Message::Ack(AckMsg { value: bogus.clone(), view: View::FIRST }),
+                Message::Ack(AckMsg {
+                    value: bogus.clone(),
+                    view: View::FIRST,
+                }),
             );
         }
     }
@@ -63,7 +66,12 @@ fn injected_acks_cannot_forge_decisions() {
     cluster.shutdown();
     assert_eq!(decisions.len(), 4);
     for d in &decisions {
-        assert_eq!(d.value, Value::from_u64(7), "{:?} decided the forged value", d.process);
+        assert_eq!(
+            d.value,
+            Value::from_u64(7),
+            "{:?} decided the forged value",
+            d.process
+        );
     }
 }
 

@@ -71,10 +71,9 @@ impl fmt::Display for Violation {
             Violation::InventedValue { value } => {
                 write!(f, "decided value {value} was no process's input")
             }
-            Violation::NonUnanimousDecision { expected, actual } => write!(
-                f,
-                "unanimous input {expected} but decided {actual}"
-            ),
+            Violation::NonUnanimousDecision { expected, actual } => {
+                write!(f, "unanimous input {expected} but decided {actual}")
+            }
             Violation::Undecided { process, deadline } => {
                 write!(f, "{process} undecided by {deadline}")
             }
@@ -142,10 +141,8 @@ impl ConsensusChecker {
         }
 
         // Decision stability: a duplicate decide with a different value.
-        let firsts: BTreeMap<ProcessId, Value> = decisions
-            .iter()
-            .map(|(_, p, v)| (*p, v.clone()))
-            .collect();
+        let firsts: BTreeMap<ProcessId, Value> =
+            decisions.iter().map(|(_, p, v)| (*p, v.clone())).collect();
         for (_, p, v) in trace.duplicate_decisions() {
             if self.is_correct(p) && firsts.get(&p).is_some_and(|first| *first != v) {
                 violations.push(Violation::ChangedDecision { process: p });
@@ -202,7 +199,9 @@ mod tests {
     use crate::trace::TraceEvent;
 
     fn inputs(n: u32) -> Vec<(ProcessId, Value)> {
-        (1..=n).map(|i| (ProcessId(i), Value::from_u64(i as u64))).collect()
+        (1..=n)
+            .map(|i| (ProcessId(i), Value::from_u64(i as u64)))
+            .collect()
     }
 
     fn trace_with_decisions(ds: &[(u32, u64)]) -> Trace {
@@ -260,12 +259,16 @@ mod tests {
 
     #[test]
     fn weak_validity_checked_on_unanimity() {
-        let unanimous: Vec<_> = (1..=3).map(|i| (ProcessId(i), Value::from_u64(5))).collect();
+        let unanimous: Vec<_> = (1..=3)
+            .map(|i| (ProcessId(i), Value::from_u64(5)))
+            .collect();
         let checker = ConsensusChecker::new(unanimous);
         let bad = trace_with_decisions(&[(1, 5), (2, 5), (3, 6)]);
         let v = checker.check_safety(&bad);
         // p3 both disagrees and (as first-differing value) is non-unanimous.
-        assert!(v.iter().any(|x| matches!(x, Violation::Disagreement { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::Disagreement { .. })));
     }
 
     #[test]
@@ -280,7 +283,9 @@ mod tests {
             },
         );
         let v = checker.check_safety(&t);
-        assert!(v.iter().any(|x| matches!(x, Violation::ChangedDecision { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ChangedDecision { .. })));
         // Re-deciding the same value is benign.
         let mut t2 = trace_with_decisions(&[(1, 1)]);
         t2.push(
@@ -309,13 +314,20 @@ mod tests {
                 a: (ProcessId(1), Value::from_u64(0)),
                 b: (ProcessId(2), Value::from_u64(1)),
             },
-            Violation::ChangedDecision { process: ProcessId(1) },
-            Violation::InventedValue { value: Value::from_u64(3) },
+            Violation::ChangedDecision {
+                process: ProcessId(1),
+            },
+            Violation::InventedValue {
+                value: Value::from_u64(3),
+            },
             Violation::NonUnanimousDecision {
                 expected: Value::from_u64(1),
                 actual: Value::from_u64(2),
             },
-            Violation::Undecided { process: ProcessId(4), deadline: SimTime(9) },
+            Violation::Undecided {
+                process: ProcessId(4),
+                deadline: SimTime(9),
+            },
         ] {
             assert!(!v.to_string().is_empty());
         }

@@ -89,7 +89,11 @@ impl Network {
 
     /// A network that is chaotic (uniform random delays in
     /// `[delta/10, pre_gst_max]`) until `gst`, then Δ-bounded.
-    pub fn partially_synchronous(delta: SimDuration, gst: SimTime, pre_gst_max: SimDuration) -> Self {
+    pub fn partially_synchronous(
+        delta: SimDuration,
+        gst: SimTime,
+        pre_gst_max: SimDuration,
+    ) -> Self {
         Network {
             delta,
             gst,
@@ -162,11 +166,8 @@ mod tests {
 
     #[test]
     fn uniform_respects_gst_deadline() {
-        let mut net = Network::partially_synchronous(
-            SimDuration(100),
-            SimTime(1_000),
-            SimDuration(10_000),
-        );
+        let mut net =
+            Network::partially_synchronous(SimDuration(100), SimTime(1_000), SimDuration(10_000));
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..200 {
             // Sent before GST: must arrive by gst + delta.
@@ -195,11 +196,8 @@ mod tests {
     #[test]
     fn uniform_determinism_under_seed() {
         let run = |seed: u64| {
-            let mut net = Network::partially_synchronous(
-                SimDuration(100),
-                SimTime(10_000),
-                SimDuration(500),
-            );
+            let mut net =
+                Network::partially_synchronous(SimDuration(100), SimTime(10_000), SimDuration(500));
             let mut rng = StdRng::seed_from_u64(seed);
             (0..32)
                 .map(|i| net.delivery_time(&info(i * 7), &mut rng).0)

@@ -274,7 +274,8 @@ impl<M: SimMessage> Simulation<M> {
             let slot = &mut self.nodes[node];
             if slot.decided.is_none() {
                 slot.decided = Some((self.now, value.clone()));
-                self.trace.push(self.now, TraceEvent::Decide { process: id, value });
+                self.trace
+                    .push(self.now, TraceEvent::Decide { process: id, value });
             } else {
                 self.trace
                     .push(self.now, TraceEvent::DuplicateDecide { process: id, value });
@@ -365,11 +366,7 @@ impl<M: SimMessage> Simulation<M> {
                 Some(next) if next.at <= limit => {
                     self.step();
                 }
-                _ => {
-                    return who
-                        .iter()
-                        .all(|p| self.nodes[p.index()].decided.is_some())
-                }
+                _ => return who.iter().all(|p| self.nodes[p.index()].decided.is_some()),
             }
         }
     }
@@ -466,11 +463,7 @@ mod tests {
     fn determinism_same_seed_same_trace() {
         let run = |seed| {
             let mut sim = Simulation::new(
-                Network::partially_synchronous(
-                    SimDuration(100),
-                    SimTime(500),
-                    SimDuration(400),
-                ),
+                Network::partially_synchronous(SimDuration(100), SimTime(500), SimDuration(400)),
                 seed,
             );
             sim.add_actor(Box::new(ScriptedActor::broadcaster(Ping(7))));
@@ -501,8 +494,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "already started")]
     fn double_start_panics() {
-        let mut sim: Simulation<Ping> =
-            Simulation::new(Network::synchronous(SimDuration(100)), 0);
+        let mut sim: Simulation<Ping> = Simulation::new(Network::synchronous(SimDuration(100)), 0);
         sim.add_actor(Box::new(ScriptedActor::silent()));
         sim.start();
         sim.start();

@@ -14,11 +14,7 @@ use crate::time::SimTime;
 #[derive(Clone, Debug)]
 enum Step<M> {
     /// Send `msg` to a single process at `at`.
-    Send {
-        at: SimTime,
-        to: ProcessId,
-        msg: M,
-    },
+    Send { at: SimTime, to: ProcessId, msg: M },
     /// Broadcast `msg` to everyone (including self) at `at`.
     Broadcast { at: SimTime, msg: M },
 }

@@ -123,7 +123,10 @@ mod tests {
         assert_eq!(t.since(SimTime(200)), SimDuration::ZERO);
         assert_eq!(SimDuration(30) * 3, SimDuration(90));
         assert_eq!(SimDuration(90) / 3, SimDuration(30));
-        assert_eq!(SimDuration(10) + SimDuration(5) - SimDuration(3), SimDuration(12));
+        assert_eq!(
+            SimDuration(10) + SimDuration(5) - SimDuration(3),
+            SimDuration(12)
+        );
     }
 
     #[test]

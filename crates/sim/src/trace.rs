@@ -172,13 +172,19 @@ impl Trace {
             tos.sort_unstable();
             tos.dedup();
             let step = at.checked_div(delta.0).unwrap_or(0);
-            let to_str = if tos.len() >= 3 && tos.len() == (tos[tos.len() - 1] - tos[0] + 1) as usize
-            {
-                format!("p{}..p{}", tos[0], tos[tos.len() - 1])
-            } else {
-                tos.iter().map(|t| format!("p{t}")).collect::<Vec<_>>().join(",")
-            };
-            let _ = writeln!(out, "  [t={at}, step {step}] {kind:<12} p{from} -> {to_str}");
+            let to_str =
+                if tos.len() >= 3 && tos.len() == (tos[tos.len() - 1] - tos[0] + 1) as usize {
+                    format!("p{}..p{}", tos[0], tos[tos.len() - 1])
+                } else {
+                    tos.iter()
+                        .map(|t| format!("p{t}"))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+            let _ = writeln!(
+                out,
+                "  [t={at}, step {step}] {kind:<12} p{from} -> {to_str}"
+            );
         }
         for (t, p, v) in self.decisions() {
             let step = t.0.checked_div(delta.0).unwrap_or(0);

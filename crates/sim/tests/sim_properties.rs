@@ -2,8 +2,8 @@
 //! admissibility, determinism and crash semantics.
 
 use fastbft_sim::{
-    Actor, Effects, Network, ScriptedActor, SimDuration, SimMessage, SimTime, Simulation,
-    TimerId, TraceEvent,
+    Actor, Effects, Network, ScriptedActor, SimDuration, SimMessage, SimTime, Simulation, TimerId,
+    TraceEvent,
 };
 use fastbft_types::ProcessId;
 use proptest::prelude::*;

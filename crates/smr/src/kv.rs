@@ -71,10 +71,19 @@ impl Decode for KvCommand {
                 key: String::decode(r)?,
                 value: String::decode(r)?,
             },
-            2 => KvCommand::Get { key: String::decode(r)? },
-            3 => KvCommand::Delete { key: String::decode(r)? },
+            2 => KvCommand::Get {
+                key: String::decode(r)?,
+            },
+            3 => KvCommand::Delete {
+                key: String::decode(r)?,
+            },
             4 => KvCommand::Noop,
-            tag => return Err(WireError::InvalidTag { tag, context: "KvCommand" }),
+            tag => {
+                return Err(WireError::InvalidTag {
+                    tag,
+                    context: "KvCommand",
+                })
+            }
         })
     }
 }
@@ -148,7 +157,10 @@ mod tests {
     #[test]
     fn commands_roundtrip() {
         for cmd in [
-            KvCommand::Put { key: "k".into(), value: "v".into() },
+            KvCommand::Put {
+                key: "k".into(),
+                value: "v".into(),
+            },
             KvCommand::Get { key: "k".into() },
             KvCommand::Delete { key: "k".into() },
             KvCommand::Noop,
@@ -168,7 +180,11 @@ mod tests {
     #[test]
     fn put_get_delete() {
         let mut store = KvStore::new();
-        let put = KvCommand::Put { key: "a".into(), value: "1".into() }.to_value();
+        let put = KvCommand::Put {
+            key: "a".into(),
+            value: "1".into(),
+        }
+        .to_value();
         assert_eq!(store.apply(&put), KvOutput::Value(None));
         let get = KvCommand::Get { key: "a".into() }.to_value();
         assert_eq!(store.apply(&get), KvOutput::Value(Some("1".into())));
@@ -182,9 +198,21 @@ mod tests {
         let mut a = KvStore::new();
         let mut b = KvStore::new();
         assert_eq!(a.state_digest(), b.state_digest());
-        a.apply(&KvCommand::Put { key: "x".into(), value: "1".into() }.to_value());
+        a.apply(
+            &KvCommand::Put {
+                key: "x".into(),
+                value: "1".into(),
+            }
+            .to_value(),
+        );
         assert_ne!(a.state_digest(), b.state_digest());
-        b.apply(&KvCommand::Put { key: "x".into(), value: "1".into() }.to_value());
+        b.apply(
+            &KvCommand::Put {
+                key: "x".into(),
+                value: "1".into(),
+            }
+            .to_value(),
+        );
         assert_eq!(a.state_digest(), b.state_digest());
     }
 }

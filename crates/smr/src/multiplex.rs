@@ -184,25 +184,16 @@ impl<S: StateMachine> SmrNode<S> {
         }
     }
 
-    fn deliver(
-        &mut self,
-        slot: u64,
-        from: ProcessId,
-        msg: Message,
-        fx: &mut Effects<SlotMessage>,
-    ) {
-        let Some(replica) = self.slots.get_mut(&slot) else { return };
+    fn deliver(&mut self, slot: u64, from: ProcessId, msg: Message, fx: &mut Effects<SlotMessage>) {
+        let Some(replica) = self.slots.get_mut(&slot) else {
+            return;
+        };
         let mut inner = Effects::new(fx.id(), fx.n(), fx.now());
         replica.on_message(from, msg, &mut inner);
         self.relay_inner(slot, inner, fx);
     }
 
-    fn relay_inner(
-        &mut self,
-        slot: u64,
-        inner: Effects<Message>,
-        fx: &mut Effects<SlotMessage>,
-    ) {
+    fn relay_inner(&mut self, slot: u64, inner: Effects<Message>, fx: &mut Effects<SlotMessage>) {
         for (to, msg) in inner.sent() {
             fx.send(
                 *to,
@@ -277,7 +268,9 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
     fn on_timer(&mut self, timer: TimerId, fx: &mut Effects<SlotMessage>) {
         let slot = timer.0 / TIMER_STRIDE;
         let inner_timer = TimerId(timer.0 % TIMER_STRIDE);
-        let Some(replica) = self.slots.get_mut(&slot) else { return };
+        let Some(replica) = self.slots.get_mut(&slot) else {
+            return;
+        };
         let mut inner = Effects::new(fx.id(), fx.n(), fx.now());
         replica.on_timer(inner_timer, &mut inner);
         self.relay_inner(slot, inner, fx);

@@ -31,9 +31,7 @@ fn rotation_commits_every_nodes_commands() {
     // Each node has ONE private command; rotation must commit all four
     // within the first four slots (no view changes needed).
     let cfg = Config::new(4, 1, 1).unwrap();
-    let commands: Vec<Vec<Value>> = (0..4u64)
-        .map(|i| vec![Value::from_u64(100 + i)])
-        .collect();
+    let commands: Vec<Vec<Value>> = (0..4u64).map(|i| vec![Value::from_u64(100 + i)]).collect();
     let mut cluster = SmrSimCluster::new(
         cfg,
         4,
@@ -46,8 +44,11 @@ fn rotation_commits_every_nodes_commands() {
     assert!(report.applied_everywhere >= 4);
     assert!(report.logs_consistent);
     let log = cluster.log(ProcessId(1));
-    let committed: std::collections::BTreeSet<u64> =
-        log.iter().filter_map(|v| v.as_u64()).filter(|x| *x >= 100).collect();
+    let committed: std::collections::BTreeSet<u64> = log
+        .iter()
+        .filter_map(|v| v.as_u64())
+        .filter(|x| *x >= 100)
+        .collect();
     assert_eq!(
         committed,
         [100u64, 101, 102, 103].into_iter().collect(),
@@ -60,9 +61,7 @@ fn slot_zero_leader_is_paper_leader() {
     // Slot 0 uses offset 0, so leader(1) = p2 exactly as in the paper; the
     // first decided slot therefore carries p2's command.
     let cfg = Config::new(4, 1, 1).unwrap();
-    let commands: Vec<Vec<Value>> = (0..4u64)
-        .map(|i| vec![Value::from_u64(100 + i)])
-        .collect();
+    let commands: Vec<Vec<Value>> = (0..4u64).map(|i| vec![Value::from_u64(100 + i)]).collect();
     let mut cluster = SmrSimCluster::new(
         cfg,
         4,
@@ -80,8 +79,15 @@ fn slot_zero_leader_is_paper_leader() {
 fn kv_delete_of_missing_key_is_consistent() {
     let cfg = Config::new(4, 1, 1).unwrap();
     let queue = vec![
-        KvCommand::Delete { key: "ghost".into() }.to_value(),
-        KvCommand::Put { key: "a".into(), value: "1".into() }.to_value(),
+        KvCommand::Delete {
+            key: "ghost".into(),
+        }
+        .to_value(),
+        KvCommand::Put {
+            key: "a".into(),
+            value: "1".into(),
+        }
+        .to_value(),
         KvCommand::Delete { key: "a".into() }.to_value(),
         KvCommand::Delete { key: "a".into() }.to_value(),
     ];

@@ -35,10 +35,16 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::TooFewProcesses { n, required } => {
-                write!(f, "n = {n} processes is below the bound (need n >= {required})")
+                write!(
+                    f,
+                    "n = {n} processes is below the bound (need n >= {required})"
+                )
             }
             ConfigError::InvalidThreshold { t, f: ff } => {
-                write!(f, "fast-path threshold t = {t} must satisfy 1 <= t <= f = {ff}")
+                write!(
+                    f,
+                    "fast-path threshold t = {t} must satisfy 1 <= t <= f = {ff}"
+                )
             }
             ConfigError::ZeroResilience => write!(f, "resilience f must be at least 1"),
         }
@@ -311,8 +317,11 @@ impl ProtocolKind {
     }
 
     /// All compared protocols.
-    pub const ALL: [ProtocolKind; 3] =
-        [ProtocolKind::Ktz, ProtocolKind::FabPaxos, ProtocolKind::Pbft];
+    pub const ALL: [ProtocolKind; 3] = [
+        ProtocolKind::Ktz,
+        ProtocolKind::FabPaxos,
+        ProtocolKind::Pbft,
+    ];
 }
 
 impl fmt::Display for ProtocolKind {
@@ -431,8 +440,7 @@ mod tests {
         for f in 1..=6 {
             for t in 1..=f {
                 let cfg = Config::minimal(f, t);
-                let inter =
-                    (cfg.vote_quorum() + cfg.fast_quorum()) as isize - cfg.n() as isize;
+                let inter = (cfg.vote_quorum() + cfg.fast_quorum()) as isize - cfg.n() as isize;
                 assert!(
                     inter >= (cfg.f() as isize - 1) + cfg.selection_quorum() as isize,
                     "fast/vote intersection too small for {cfg}"
@@ -483,7 +491,10 @@ mod tests {
         assert_eq!(ProtocolKind::Pbft.common_case_delays(), 3);
         // Vanilla: 5f−1 vs FaB's 5f+1.
         for f in 1..=5 {
-            assert_eq!(ProtocolKind::Ktz.min_n(f, f) + 2, ProtocolKind::FabPaxos.min_n(f, f));
+            assert_eq!(
+                ProtocolKind::Ktz.min_n(f, f) + 2,
+                ProtocolKind::FabPaxos.min_n(f, f)
+            );
         }
     }
 

@@ -66,7 +66,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::UnexpectedEnd { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+                )
             }
             WireError::InvalidTag { tag, context } => {
                 write!(f, "invalid tag byte {tag:#04x} while decoding {context}")
@@ -224,7 +227,10 @@ impl Decode for bool {
         match r.take_u8()? {
             0 => Ok(false),
             1 => Ok(true),
-            tag => Err(WireError::InvalidTag { tag, context: "bool" }),
+            tag => Err(WireError::InvalidTag {
+                tag,
+                context: "bool",
+            }),
         }
     }
 }
@@ -272,7 +278,10 @@ impl<T: Decode> Decode for Option<T> {
         match r.take_u8()? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
-            tag => Err(WireError::InvalidTag { tag, context: "Option" }),
+            tag => Err(WireError::InvalidTag {
+                tag,
+                context: "Option",
+            }),
         }
     }
 }
@@ -420,8 +429,14 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         for e in [
-            WireError::UnexpectedEnd { needed: 4, remaining: 1 },
-            WireError::InvalidTag { tag: 9, context: "x" },
+            WireError::UnexpectedEnd {
+                needed: 4,
+                remaining: 1,
+            },
+            WireError::InvalidTag {
+                tag: 9,
+                context: "x",
+            },
             WireError::LengthOverflow { len: 1 << 30 },
             WireError::TrailingBytes { remaining: 3 },
             WireError::Invalid("nope"),
@@ -438,7 +453,10 @@ mod tests {
             b: Option<String>,
         }
         impl_wire_struct!(Pair { a, b });
-        roundtrip(&Pair { a: 3, b: Some("x".into()) });
+        roundtrip(&Pair {
+            a: 3,
+            b: Some("x".into()),
+        });
         roundtrip(&Pair { a: 0, b: None });
     }
 }

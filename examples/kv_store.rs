@@ -19,16 +19,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Ten client commands, broadcast by the client to every replica.
     let workload: Vec<KvCommand> = vec![
-        KvCommand::Put { key: "alice".into(), value: "120".into() },
-        KvCommand::Put { key: "bob".into(), value: "80".into() },
-        KvCommand::Get { key: "alice".into() },
-        KvCommand::Put { key: "carol".into(), value: "300".into() },
+        KvCommand::Put {
+            key: "alice".into(),
+            value: "120".into(),
+        },
+        KvCommand::Put {
+            key: "bob".into(),
+            value: "80".into(),
+        },
+        KvCommand::Get {
+            key: "alice".into(),
+        },
+        KvCommand::Put {
+            key: "carol".into(),
+            value: "300".into(),
+        },
         KvCommand::Delete { key: "bob".into() },
-        KvCommand::Put { key: "alice".into(), value: "150".into() },
-        KvCommand::Get { key: "carol".into() },
-        KvCommand::Put { key: "dave".into(), value: "42".into() },
-        KvCommand::Put { key: "erin".into(), value: "7".into() },
-        KvCommand::Get { key: "alice".into() },
+        KvCommand::Put {
+            key: "alice".into(),
+            value: "150".into(),
+        },
+        KvCommand::Get {
+            key: "carol".into(),
+        },
+        KvCommand::Put {
+            key: "dave".into(),
+            value: "42".into(),
+        },
+        KvCommand::Put {
+            key: "erin".into(),
+            value: "7".into(),
+        },
+        KvCommand::Get {
+            key: "alice".into(),
+        },
     ];
     // The client broadcasts every command to all replicas.
     let queue: Vec<_> = workload.iter().map(KvCommand::to_value).collect();
@@ -55,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = cluster.machine(fastbft::types::ProcessId(1)).clone();
     println!("\nfinal store ({} keys):", reference.len());
     for key in ["alice", "carol", "dave", "erin"] {
-        println!("  {key} = {:?}", reference.get(key).cloned().unwrap_or_default());
+        println!(
+            "  {key} = {:?}",
+            reference.get(key).cloned().unwrap_or_default()
+        );
     }
     for p in cfg.processes() {
         assert_eq!(
@@ -64,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "replica {p} diverged"
         );
     }
-    println!("\nall {} replicas report identical state digests ✓", cfg.n());
+    println!(
+        "\nall {} replicas report identical state digests ✓",
+        cfg.n()
+    );
     assert_eq!(reference.get("alice"), Some(&"150".to_string()));
     assert_eq!(reference.get("bob"), None);
     Ok(())

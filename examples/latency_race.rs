@@ -15,11 +15,16 @@ use fastbft::types::{Config, ProcessId, ProtocolKind, Value};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delta = SimDuration::DELTA;
     println!("one Byzantine fault tolerated (f = t = 1), synchronous network, Δ = {delta}\n");
-    println!("{:<22} {:>4} {:>16} {:>12}", "protocol", "n", "delays to decide", "messages");
+    println!(
+        "{:<22} {:>4} {:>16} {:>12}",
+        "protocol", "n", "delays to decide", "messages"
+    );
 
     // KTZ21 (this paper): n = 4.
     let cfg = Config::new(ProtocolKind::Ktz.min_n(1, 1), 1, 1)?;
-    let mut cluster = SimCluster::builder(cfg).inputs_u64(vec![7; cfg.n()]).build();
+    let mut cluster = SimCluster::builder(cfg)
+        .inputs_u64(vec![7; cfg.n()])
+        .build();
     let report = cluster.run_until_all_decide();
     assert!(report.violations.is_empty());
     println!(
@@ -41,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             keys,
             dir.clone(),
             Value::from_u64(7),
-            )));
+        )));
     }
     sim.start();
     let everyone: Vec<ProcessId> = (1..=fab_n as u32).map(ProcessId).collect();
@@ -71,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             keys,
             dir.clone(),
             Value::from_u64(7),
-            )));
+        )));
     }
     sim.start();
     let everyone: Vec<ProcessId> = (1..=pbft_n as u32).map(ProcessId).collect();

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delta = SimDuration::DELTA;
 
     println!("n = 4, f = t = 1, Δ = {delta}; pre-GST delays up to 20Δ\n");
-    println!("{:<12} {:>14} {:>22}", "GST (Δ)", "decided at (Δ)", "Δ after GST");
+    println!(
+        "{:<12} {:>14} {:>22}",
+        "GST (Δ)", "decided at (Δ)", "Δ after GST"
+    );
 
     for gst_deltas in [0u64, 10, 30, 60] {
         let gst = SimTime(gst_deltas * delta.0);
@@ -32,12 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = cluster.run_until_all_decide();
         assert!(report.all_decided, "must decide after GST");
         assert!(report.violations.is_empty(), "never a safety violation");
-        let decided_at = report
-            .decisions
-            .iter()
-            .map(|(_, t, _)| t.0)
-            .max()
-            .unwrap();
+        let decided_at = report.decisions.iter().map(|(_, t, _)| t.0).max().unwrap();
         println!(
             "{:<12} {:>14} {:>22}",
             gst_deltas,

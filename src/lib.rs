@@ -36,6 +36,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use fastbft_baselines as baselines;
 pub use fastbft_core as core;
 pub use fastbft_crypto as crypto;

@@ -24,8 +24,16 @@ fn common_case_across_configurations() {
             .inputs_u64((1..=n as u64).collect::<Vec<_>>())
             .build();
         let report = cluster.run_until_all_decide();
-        assert!(report.all_decided, "{cfg} undecided: {:?}", report.violations);
-        assert!(report.violations.is_empty(), "{cfg}: {:?}", report.violations);
+        assert!(
+            report.all_decided,
+            "{cfg} undecided: {:?}",
+            report.violations
+        );
+        assert!(
+            report.violations.is_empty(),
+            "{cfg}: {:?}",
+            report.violations
+        );
         assert_eq!(report.decision_delays_max(), 2, "{cfg} not two-step");
         let leader = cfg.leader(View::FIRST);
         assert_eq!(

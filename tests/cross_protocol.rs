@@ -10,9 +10,13 @@ fn delta() -> SimDuration {
     SimDuration::DELTA
 }
 
-fn run_pbft(n: usize, f: usize, silent: &[u32], gst: Option<(SimTime, SimDuration)>, seed: u64)
-    -> Vec<(ProcessId, SimTime, Value)>
-{
+fn run_pbft(
+    n: usize,
+    f: usize,
+    silent: &[u32],
+    gst: Option<(SimTime, SimDuration)>,
+    seed: u64,
+) -> Vec<(ProcessId, SimTime, Value)> {
     let cfg = Config::new_unchecked(n, f, 1.min(f));
     let (pairs, dir) = KeyDirectory::generate(n, seed);
     let network = match gst {
@@ -24,7 +28,12 @@ fn run_pbft(n: usize, f: usize, silent: &[u32], gst: Option<(SimTime, SimDuratio
         let actor: Box<dyn Actor<PbftMessage>> = if silent.contains(&(i as u32 + 1)) {
             Box::new(ScriptedActor::silent())
         } else {
-            Box::new(PbftReplica::new(cfg, pair.clone(), dir.clone(), Value::from_u64(7)))
+            Box::new(PbftReplica::new(
+                cfg,
+                pair.clone(),
+                dir.clone(),
+                Value::from_u64(7),
+            ))
         };
         sim.add_actor(actor);
     }
@@ -40,9 +49,13 @@ fn run_pbft(n: usize, f: usize, silent: &[u32], gst: Option<(SimTime, SimDuratio
     sim.decisions()
 }
 
-fn run_fab(n: usize, f: usize, t: usize, silent: &[u32], seed: u64)
-    -> Vec<(ProcessId, SimTime, Value)>
-{
+fn run_fab(
+    n: usize,
+    f: usize,
+    t: usize,
+    silent: &[u32],
+    seed: u64,
+) -> Vec<(ProcessId, SimTime, Value)> {
     let cfg = fab_config(n, f, t).unwrap();
     let (pairs, dir) = KeyDirectory::generate(n, seed);
     let mut sim = Simulation::new(Network::synchronous(delta()), seed);
@@ -50,7 +63,12 @@ fn run_fab(n: usize, f: usize, t: usize, silent: &[u32], seed: u64)
         let actor: Box<dyn Actor<FabMessage>> = if silent.contains(&(i as u32 + 1)) {
             Box::new(ScriptedActor::silent())
         } else {
-            Box::new(FabReplica::new(cfg, pair.clone(), dir.clone(), Value::from_u64(7)))
+            Box::new(FabReplica::new(
+                cfg,
+                pair.clone(),
+                dir.clone(),
+                Value::from_u64(7),
+            ))
         };
         sim.add_actor(actor);
     }
@@ -84,7 +102,10 @@ fn pbft_handles_partial_synchrony() {
     for seed in 0..3 {
         let decisions = run_pbft(4, 1, &[], Some((SimTime(2_000), SimDuration(1_500))), seed);
         let values: Vec<&Value> = decisions.iter().map(|(_, _, v)| v).collect();
-        assert!(values.windows(2).all(|w| w[0] == w[1]), "disagreement: {decisions:?}");
+        assert!(
+            values.windows(2).all(|w| w[0] == w[1]),
+            "disagreement: {decisions:?}"
+        );
     }
 }
 

@@ -26,7 +26,11 @@ fn attack_harmless_at_bound_for_multiple_seeds() {
     for seed in [1u64, 7, 42] {
         let outcome = run_attack(at_bound_n(), seed);
         assert!(!outcome.disagreement, "seed {seed}: bound must protect");
-        assert!(outcome.violations.is_empty(), "seed {seed}: {:?}", outcome.violations);
+        assert!(
+            outcome.violations.is_empty(),
+            "seed {seed}: {:?}",
+            outcome.violations
+        );
     }
 }
 
