@@ -1,0 +1,142 @@
+//! E13 — wall-clock decision latency: channel transport vs loopback TCP.
+//!
+//! Runs the same four correct replicas (`n = 4, f = t = 1`, unanimous
+//! inputs) to a full decision on both runtime transports and reports the
+//! wall-clock time until the *last* replica decides. The gap between the
+//! two columns is the cost of real framing: syscalls, HMAC session MACs,
+//! and TCP loopback hops — the first point of the repo's perf trajectory
+//! toward real deployments.
+//!
+//! `--json` switches the output to a machine-readable JSON object
+//! (`BENCH_baseline.json` is a committed snapshot of it):
+//!
+//! ```bash
+//! cargo run --release -p fastbft_bench --bin tcp_latency -- --json
+//! ```
+
+use std::time::Duration;
+
+use fastbft_bench::{header, row};
+use fastbft_core::{Message, Replica};
+use fastbft_crypto::KeyDirectory;
+use fastbft_net::spawn_tcp;
+use fastbft_runtime::spawn;
+use fastbft_sim::Actor;
+use fastbft_types::{Config, Value};
+
+const N: usize = 4;
+const ITERS: usize = 5;
+const TICK: Duration = Duration::from_micros(50);
+
+fn actors(
+    seed: u64,
+) -> (
+    Vec<Box<dyn Actor<Message> + Send>>,
+    Vec<fastbft_crypto::KeyPair>,
+    KeyDirectory,
+) {
+    let cfg = Config::new(N, 1, 1).expect("n = 3f + 2t - 1");
+    let (pairs, dir) = KeyDirectory::generate(N, seed);
+    let replicas = (0..N)
+        .map(|i| -> Box<dyn Actor<Message> + Send> {
+            Box::new(Replica::new(
+                cfg,
+                pairs[i].clone(),
+                dir.clone(),
+                Value::from_u64(7),
+            ))
+        })
+        .collect();
+    (replicas, pairs, dir)
+}
+
+/// Wall-clock time from cluster start until the last replica decides.
+fn last_decision(decisions: &[fastbft_runtime::Decision]) -> Duration {
+    assert_eq!(decisions.len(), N, "all replicas must decide");
+    for d in decisions {
+        assert_eq!(d.value, Value::from_u64(7), "non-unanimous decision");
+    }
+    decisions.iter().map(|d| d.elapsed).max().expect("nonempty")
+}
+
+fn run_channel(seed: u64) -> Duration {
+    let (replicas, _, _) = actors(seed);
+    let cluster = spawn(replicas, TICK);
+    let decisions = cluster.await_decisions(N, Duration::from_secs(10));
+    let elapsed = last_decision(&decisions);
+    cluster.shutdown();
+    elapsed
+}
+
+fn run_tcp(seed: u64) -> Duration {
+    let (replicas, pairs, dir) = actors(seed);
+    let (cluster, _addrs) = spawn_tcp(replicas, pairs, dir, TICK).expect("loopback bind");
+    let decisions = cluster.await_decisions(N, Duration::from_secs(10));
+    let elapsed = last_decision(&decisions);
+    cluster.shutdown();
+    elapsed
+}
+
+struct Stats {
+    min_us: u128,
+    median_us: u128,
+    max_us: u128,
+}
+
+fn stats(mut samples: Vec<Duration>) -> Stats {
+    samples.sort();
+    Stats {
+        min_us: samples.first().expect("nonempty").as_micros(),
+        median_us: samples[samples.len() / 2].as_micros(),
+        max_us: samples.last().expect("nonempty").as_micros(),
+    }
+}
+
+fn json_stats(s: &Stats) -> String {
+    format!(
+        "{{\"unit\": \"us\", \"min\": {}, \"median\": {}, \"max\": {}}}",
+        s.min_us, s.median_us, s.max_us
+    )
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+
+    let channel = stats((0..ITERS).map(|i| run_channel(100 + i as u64)).collect());
+    let tcp = stats((0..ITERS).map(|i| run_tcp(200 + i as u64)).collect());
+
+    if json {
+        println!("{{");
+        println!("  \"bench\": \"tcp_latency\",");
+        println!(
+            "  \"config\": {{\"n\": {N}, \"f\": 1, \"t\": 1, \"iters\": {ITERS}, \"tick_us\": {}}},",
+            TICK.as_micros()
+        );
+        println!("  \"unit_note\": \"wall-clock us until the last of {N} replicas decides\",");
+        println!("  \"transports\": {{");
+        println!("    \"channel\": {},", json_stats(&channel));
+        println!("    \"tcp_loopback\": {}", json_stats(&tcp));
+        println!("  }}");
+        println!("}}");
+        return;
+    }
+
+    println!("# E13 — decision latency to last replica: channel vs TCP loopback");
+    println!("# n = {N}, f = t = 1, all correct, unanimous inputs, {ITERS} runs\n");
+    println!(
+        "{}",
+        header(&["transport", "min (µs)", "median (µs)", "max (µs)"])
+    );
+    for (name, s) in [("channel", &channel), ("tcp loopback", &tcp)] {
+        println!(
+            "{}",
+            row(&[
+                name.to_string(),
+                s.min_us.to_string(),
+                s.median_us.to_string(),
+                s.max_us.to_string(),
+            ])
+        );
+    }
+    println!("\n(JSON for tooling: rerun with --json; committed baseline: BENCH_baseline.json)");
+}

@@ -7,6 +7,8 @@
 //! * [`sha256`] — SHA-256 implemented from scratch, validated against
 //!   FIPS 180-4 / NIST CAVP vectors;
 //! * [`hmac`] — HMAC-SHA256 (RFC 2104), validated against RFC 4231 vectors;
+//! * [`session`] — per-connection session MACs (`fastbft-net` frames), so a
+//!   socket peer cannot spoof its `ProcessId` or replay frames;
 //! * [`KeyPair`] / [`KeyDirectory`] — per-process signing keys and the
 //!   verification directory;
 //! * [`Signature`] / [`SignatureSet`] — fixed-size signatures and multi-signer
@@ -37,6 +39,7 @@
 
 pub mod hmac;
 mod keys;
+pub mod session;
 pub mod sha256;
 mod sigset;
 

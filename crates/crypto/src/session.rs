@@ -1,0 +1,400 @@
+//! Per-connection session MACs for the network transport.
+//!
+//! The paper's model (§2.1) gives every pair of processes a reliable
+//! *authenticated* link. Inside one address space the runtime enforces the
+//! authentication half by attaching the true sender id to every delivery;
+//! across a real socket nothing attaches anything, so `fastbft-net` tags
+//! every frame with an HMAC-SHA256 MAC produced here. A frame MAC binds
+//! four things at once:
+//!
+//! * the **sender's key** — only the claimed process could have produced it;
+//! * a **session id** — a fresh value per connection, so frames recorded on
+//!   one connection cannot be replayed on another;
+//! * a **sequence number** — strictly increasing within a session, so frames
+//!   cannot be replayed, reordered or dropped-and-resent within one either;
+//! * the **payload bytes** — the canonical encoding of the protocol message.
+//!
+//! All preimages are domain-separated (`fastbft-net/frame/v1`,
+//! `fastbft-net/hello/v1`) so a transport MAC can never collide with a
+//! protocol signature over the same payload bytes, and lengths are encoded
+//! explicitly so preimages are injective.
+//!
+//! Like every "signature" in this crate, the tags are symmetric HMACs
+//! verified through the [`KeyDirectory`] — see the crate-level substitution
+//! note for why that is sound here and what a real deployment would swap in.
+//!
+//! ```
+//! use fastbft_crypto::session::{SessionMac, SessionVerifier};
+//! use fastbft_crypto::KeyDirectory;
+//!
+//! let (pairs, dir) = KeyDirectory::generate(4, 7);
+//! let mut mac = SessionMac::new(pairs[0].clone(), 99);
+//! let mut check = SessionVerifier::new(dir, pairs[0].id(), 99);
+//!
+//! let (seq, sig) = mac.tag_next(b"payload");
+//! assert!(check.verify(seq, b"payload", &sig).is_ok());
+//! // Replaying the same frame fails: the sequence number moved on.
+//! assert!(check.verify(seq, b"payload", &sig).is_err());
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use fastbft_types::ProcessId;
+
+use crate::{KeyDirectory, KeyPair, Signature};
+
+/// Domain-separation prefix for frame MAC preimages.
+pub const FRAME_DOMAIN: &[u8] = b"fastbft-net/frame/v1";
+
+/// Domain-separation prefix for handshake (hello) preimages.
+pub const HELLO_DOMAIN: &[u8] = b"fastbft-net/hello/v1";
+
+/// Role byte distinguishing the two directions of the handshake, so a
+/// recorded `hello` can never be replayed as a `hello-ack` (or vice versa).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HelloRole {
+    /// The connecting side (sends first).
+    Dialer,
+    /// The accepting side (answers).
+    Listener,
+}
+
+impl HelloRole {
+    fn byte(self) -> u8 {
+        match self {
+            HelloRole::Dialer => 0xd1,
+            HelloRole::Listener => 0x11,
+        }
+    }
+}
+
+/// Canonical preimage a frame MAC is computed over.
+///
+/// Injective by construction: fixed-width session and sequence numbers plus
+/// an explicit payload length, all behind a domain prefix.
+pub fn frame_preimage(session: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_DOMAIN.len() + 8 + 8 + 8 + payload.len());
+    buf.extend_from_slice(FRAME_DOMAIN);
+    buf.extend_from_slice(&session.to_be_bytes());
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Canonical preimage a handshake signature is computed over: who claims to
+/// be speaking, in which role, on which session, with which freshness
+/// contribution.
+///
+/// `nonce` is the speaker's own freshness contribution: the dialer's is its
+/// session id (so its hello carries `nonce = 0`), the listener's is an
+/// unpredictable value echoed back in its ack. Frame MACs bind the *mix* of
+/// both (see [`mix_session`]), so a fully recorded connection — handshake
+/// and frames — cannot be replayed: a fresh listener nonce changes the mix
+/// and every recorded frame MAC dies with it.
+pub fn hello_preimage(role: HelloRole, speaker: ProcessId, session: u64, nonce: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HELLO_DOMAIN.len() + 1 + 4 + 8 + 8);
+    buf.extend_from_slice(HELLO_DOMAIN);
+    buf.push(role.byte());
+    buf.extend_from_slice(&speaker.0.to_be_bytes());
+    buf.extend_from_slice(&session.to_be_bytes());
+    buf.extend_from_slice(&nonce.to_be_bytes());
+    buf
+}
+
+/// Mixes the dialer's session id with the listener's nonce into the session
+/// value frame MACs are bound to. Both contributions are signed during the
+/// handshake, so neither side (nor a replaying observer) can force a reused
+/// mix against a correct peer.
+pub fn mix_session(session: u64, listener_nonce: u64) -> u64 {
+    session ^ listener_nonce.rotate_left(32)
+}
+
+/// Derives an unpredictable-but-deterministic listener nonce from the
+/// listener's own key: an HMAC over a domain-separated counter/timestamp
+/// pair. Without the key the output cannot be predicted, which is all the
+/// replay protection needs — there is no OS entropy source in this
+/// workspace (see the crate-level substitution note).
+pub fn derive_nonce(pair: &KeyPair, counter: u64, now_nanos: u128) -> u64 {
+    let mut msg = Vec::with_capacity(HELLO_DOMAIN.len() + 6 + 8 + 16);
+    msg.extend_from_slice(HELLO_DOMAIN);
+    msg.extend_from_slice(b"/nonce");
+    msg.extend_from_slice(&counter.to_be_bytes());
+    msg.extend_from_slice(&now_nanos.to_be_bytes());
+    let sig = pair.sign(&msg);
+    u64::from_be_bytes(sig.tag()[..8].try_into().expect("32-byte tag"))
+}
+
+/// Why a session MAC check failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionError {
+    /// The MAC's claimed signer is not the authenticated peer.
+    WrongSigner {
+        /// The signer the tag claims.
+        claimed: ProcessId,
+        /// The peer this session was authenticated for.
+        expected: ProcessId,
+    },
+    /// The sequence number is not the next expected one (replay, reorder or
+    /// silent drop on what must be a FIFO link).
+    BadSequence {
+        /// The sequence number carried by the frame.
+        got: u64,
+        /// The sequence number the verifier expected.
+        expected: u64,
+    },
+    /// The tag does not verify over the preimage.
+    BadTag,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::WrongSigner { claimed, expected } => {
+                write!(f, "frame MAC signed by {claimed}, expected {expected}")
+            }
+            SessionError::BadSequence { got, expected } => {
+                write!(f, "frame sequence {got}, expected {expected}")
+            }
+            SessionError::BadTag => write!(f, "frame MAC does not verify"),
+        }
+    }
+}
+
+impl Error for SessionError {}
+
+/// Sender side of a session: tags outgoing payloads with increasing
+/// sequence numbers.
+#[derive(Debug)]
+pub struct SessionMac {
+    pair: KeyPair,
+    session: u64,
+    next_seq: u64,
+}
+
+impl SessionMac {
+    /// Creates the sender side of session `session` for `pair`'s process.
+    /// Sequence numbers start at 1.
+    pub fn new(pair: KeyPair, session: u64) -> Self {
+        SessionMac {
+            pair,
+            session,
+            next_seq: 1,
+        }
+    }
+
+    /// The session id the tags are bound to.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The process producing the tags.
+    pub fn id(&self) -> ProcessId {
+        self.pair.id()
+    }
+
+    /// Tags `payload` with the next sequence number, returning both.
+    pub fn tag_next(&mut self, payload: &[u8]) -> (u64, Signature) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let sig = self.pair.sign(&frame_preimage(self.session, seq, payload));
+        (seq, sig)
+    }
+}
+
+/// Receiver side of a session: checks signer, sequence and tag for frames
+/// arriving from one authenticated peer.
+#[derive(Debug)]
+pub struct SessionVerifier {
+    dir: KeyDirectory,
+    peer: ProcessId,
+    session: u64,
+    next_seq: u64,
+}
+
+impl SessionVerifier {
+    /// Creates the receiver side of session `session`, expecting frames
+    /// from `peer` only.
+    pub fn new(dir: KeyDirectory, peer: ProcessId, session: u64) -> Self {
+        SessionVerifier {
+            dir,
+            peer,
+            session,
+            next_seq: 1,
+        }
+    }
+
+    /// The peer this verifier authenticates.
+    pub fn peer(&self) -> ProcessId {
+        self.peer
+    }
+
+    /// Checks one frame. On success the expected sequence number advances;
+    /// on failure the verifier state is unchanged (the caller should drop
+    /// the connection).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError`] describing the first check that failed.
+    pub fn verify(
+        &mut self,
+        seq: u64,
+        payload: &[u8],
+        sig: &Signature,
+    ) -> Result<(), SessionError> {
+        if sig.signer != self.peer {
+            return Err(SessionError::WrongSigner {
+                claimed: sig.signer,
+                expected: self.peer,
+            });
+        }
+        if seq != self.next_seq {
+            return Err(SessionError::BadSequence {
+                got: seq,
+                expected: self.next_seq,
+            });
+        }
+        if !self
+            .dir
+            .verify(&frame_preimage(self.session, seq, payload), sig)
+        {
+            return Err(SessionError::BadTag);
+        }
+        self.next_seq += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vec<KeyPair>, KeyDirectory) {
+        KeyDirectory::generate(4, 21)
+    }
+
+    #[test]
+    fn tag_and_verify_in_order() {
+        let (pairs, dir) = setup();
+        let mut mac = SessionMac::new(pairs[2].clone(), 5);
+        let mut check = SessionVerifier::new(dir, pairs[2].id(), 5);
+        for payload in [b"a".as_slice(), b"bb", b""] {
+            let (seq, sig) = mac.tag_next(payload);
+            check.verify(seq, payload, &sig).unwrap();
+        }
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (pairs, dir) = setup();
+        let mut mac = SessionMac::new(pairs[0].clone(), 5);
+        let mut check = SessionVerifier::new(dir, pairs[0].id(), 5);
+        let (seq, sig) = mac.tag_next(b"x");
+        check.verify(seq, b"x", &sig).unwrap();
+        assert_eq!(
+            check.verify(seq, b"x", &sig),
+            Err(SessionError::BadSequence {
+                got: 1,
+                expected: 2
+            })
+        );
+    }
+
+    #[test]
+    fn cross_session_replay_rejected() {
+        let (pairs, dir) = setup();
+        let mut old = SessionMac::new(pairs[0].clone(), 5);
+        let mut check = SessionVerifier::new(dir, pairs[0].id(), 6);
+        let (seq, sig) = old.tag_next(b"x");
+        assert_eq!(check.verify(seq, b"x", &sig), Err(SessionError::BadTag));
+    }
+
+    #[test]
+    fn wrong_signer_rejected_even_with_valid_key() {
+        // p3 (a real process with a real key) signs a frame claiming to be
+        // p1: the signer check fires before any cryptography.
+        let (pairs, dir) = setup();
+        let mut p3 = SessionMac::new(pairs[2].clone(), 9);
+        let mut check = SessionVerifier::new(dir, pairs[0].id(), 9);
+        let (seq, sig) = p3.tag_next(b"spoof");
+        assert!(matches!(
+            check.verify(seq, b"spoof", &sig),
+            Err(SessionError::WrongSigner { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let (pairs, dir) = setup();
+        let mut mac = SessionMac::new(pairs[1].clone(), 1);
+        let mut check = SessionVerifier::new(dir, pairs[1].id(), 1);
+        let (seq, sig) = mac.tag_next(b"honest");
+        assert_eq!(
+            check.verify(seq, b"h0nest", &sig),
+            Err(SessionError::BadTag)
+        );
+        // The verifier did not advance: the genuine frame still verifies.
+        check.verify(seq, b"honest", &sig).unwrap();
+    }
+
+    #[test]
+    fn preimages_are_injective_across_fields() {
+        // Moving a byte between payload and the numeric fields changes the
+        // preimage (explicit lengths prevent ambiguity).
+        assert_ne!(frame_preimage(1, 2, b"ab"), frame_preimage(1, 2, b"a"));
+        assert_ne!(frame_preimage(1, 2, b"a"), frame_preimage(2, 1, b"a"));
+        assert_ne!(
+            hello_preimage(HelloRole::Dialer, ProcessId(1), 7, 0),
+            hello_preimage(HelloRole::Listener, ProcessId(1), 7, 0)
+        );
+        assert_ne!(
+            hello_preimage(HelloRole::Listener, ProcessId(1), 7, 1),
+            hello_preimage(HelloRole::Listener, ProcessId(1), 7, 2)
+        );
+        assert_ne!(
+            frame_preimage(1, 2, b""),
+            hello_preimage(HelloRole::Dialer, ProcessId(1), 2, 0)
+        );
+    }
+
+    #[test]
+    fn nonce_derivation_is_keyed_and_input_sensitive() {
+        let (pairs, _) = setup();
+        let a = derive_nonce(&pairs[0], 1, 99);
+        assert_eq!(a, derive_nonce(&pairs[0], 1, 99), "deterministic");
+        assert_ne!(a, derive_nonce(&pairs[0], 2, 99), "counter-sensitive");
+        assert_ne!(a, derive_nonce(&pairs[0], 1, 100), "time-sensitive");
+        assert_ne!(a, derive_nonce(&pairs[1], 1, 99), "key-sensitive");
+    }
+
+    #[test]
+    fn mixed_session_depends_on_both_contributions() {
+        assert_ne!(mix_session(5, 1), mix_session(5, 2));
+        assert_ne!(mix_session(5, 1), mix_session(6, 1));
+        // A verifier on the mixed session rejects frames bound to the raw
+        // dialer session (the recorded-connection replay shape).
+        let (pairs, dir) = setup();
+        let mut recorded = SessionMac::new(pairs[0].clone(), mix_session(5, 111));
+        let (seq, sig) = recorded.tag_next(b"x");
+        let mut fresh = SessionVerifier::new(dir, pairs[0].id(), mix_session(5, 222));
+        assert_eq!(fresh.verify(seq, b"x", &sig), Err(SessionError::BadTag));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            SessionError::WrongSigner {
+                claimed: ProcessId(1),
+                expected: ProcessId(2),
+            },
+            SessionError::BadSequence {
+                got: 1,
+                expected: 2,
+            },
+            SessionError::BadTag,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

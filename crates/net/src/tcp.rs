@@ -1,0 +1,510 @@
+//! The TCP transport: authenticated loopback/LAN links for the runtime.
+//!
+//! Topology: every node binds one listener and dials one *outbound*
+//! connection per peer (used only for sending); the `n·(n−1)` resulting
+//! streams are each one-directional after the handshake. Accepted
+//! connections are served by a handler thread that performs the handshake,
+//! then MAC-verifies and decodes frames into the node's inbound queue —
+//! the same queue the [`ChannelTransport`](fastbft_runtime::ChannelTransport)
+//! uses, so the runtime event loop is identical on both transports.
+//!
+//! Failure handling: a frame that is truncated, oversized, malformed,
+//! mis-sequenced or MAC-invalid causes the *connection* to be dropped —
+//! never a panic, and never an unauthenticated delivery. A failed send
+//! triggers one immediate redial (fresh session); if that also fails the
+//! message is dropped, which the model permits: only links between correct
+//! processes are reliable, and a correct-but-restarted peer re-establishes
+//! on the next send.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fastbft_crypto::session::{derive_nonce, mix_session, SessionMac, SessionVerifier};
+use fastbft_crypto::{KeyDirectory, KeyPair};
+use fastbft_runtime::transport::{poll_queue, Inbound, Polled, Transport};
+use fastbft_sim::SimMessage;
+use fastbft_types::wire::{from_bytes, to_bytes, Decode, Encode};
+use fastbft_types::ProcessId;
+
+use crate::frame::{encode_frame_body, read_msg, write_body, write_msg, Frame, Hello, HelloAck};
+
+/// Tunables for the TCP transport.
+#[derive(Clone, Debug)]
+pub struct TcpOptions {
+    /// How long each side of the handshake may take before the connection
+    /// is abandoned (guards the handler threads against stalled or hostile
+    /// dialers).
+    pub handshake_timeout: Duration,
+    /// Dial attempts per (re)connect before giving up on a peer for the
+    /// current send. Listeners are bound before any replica thread starts,
+    /// so retries only matter for mid-run reconnects, not startup.
+    pub connect_retries: u32,
+    /// Pause between dial attempts.
+    pub connect_backoff: Duration,
+    /// Per-attempt TCP connect timeout. Bounds how long a send to a
+    /// blackholed peer (SYNs silently dropped) can stall the event loop —
+    /// without it the OS default (minutes) would freeze timers too.
+    pub connect_timeout: Duration,
+    /// After a (re)connect gives up, the *minimum* time sends to that peer
+    /// are dropped immediately instead of redialing. The actual cooldown
+    /// scales with how long the failed attempt stalled the event loop
+    /// (several times the stall), so a peer that accepts but never
+    /// completes handshakes cannot keep a correct replica's timers frozen:
+    /// the loop is guaranteed the large majority of wall time regardless
+    /// of how slow the failure path is.
+    pub redial_cooldown: Duration,
+    /// Maximum concurrently-accepted inbound connections. Beyond this the
+    /// accept loop drops new connections immediately, bounding the fd and
+    /// thread cost a connect-and-hold peer can impose. A full mesh uses
+    /// one inbound connection per peer, so anything ≳ `4·n` is generous.
+    pub max_connections: usize,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            handshake_timeout: Duration::from_secs(5),
+            connect_retries: 3,
+            connect_backoff: Duration::from_millis(20),
+            connect_timeout: Duration::from_secs(1),
+            redial_cooldown: Duration::from_millis(250),
+            max_connections: 256,
+        }
+    }
+}
+
+/// State shared between the transport, its listener thread and its handler
+/// threads, used to tear everything down without deadlock.
+struct NetShared {
+    shutdown: AtomicBool,
+    /// Clones of live accepted streams, keyed by connection id; shut down
+    /// on drop to unblock readers. Each handler removes its own entry when
+    /// its connection ends, so dead connections don't leak fds.
+    accepted: Mutex<HashMap<u64, TcpStream>>,
+    /// Handler threads (handshake + frame reading). Finished ones are
+    /// reaped by the accept loop; the rest are joined on drop.
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl NetShared {
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// One established outbound link to a peer.
+struct Outbound {
+    writer: BufWriter<TcpStream>,
+    mac: SessionMac,
+}
+
+/// [`Transport`] implementation over real TCP sockets with authenticated
+/// frames. Build a full cluster with [`spawn_tcp`](crate::spawn_tcp), or
+/// one node's transport with [`TcpTransport::start`] for custom topologies
+/// (separate processes, real machines).
+pub struct TcpTransport<M> {
+    id: ProcessId,
+    pair: KeyPair,
+    dir: KeyDirectory,
+    addrs: Vec<SocketAddr>,
+    opts: TcpOptions,
+    outbound: Vec<Option<Outbound>>,
+    /// Per-peer cooldown deadline after a failed (re)connect.
+    dead_until: Vec<Option<Instant>>,
+    next_session: u64,
+    inbound_tx: Sender<Inbound<M>>,
+    inbound_rx: Receiver<Inbound<M>>,
+    listener_addr: SocketAddr,
+    listener: Option<JoinHandle<()>>,
+    shared: Arc<NetShared>,
+}
+
+impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
+    /// Starts the receive side of one node's transport: takes ownership of
+    /// its bound `listener`, spawns the accept loop, and returns the
+    /// transport together with the control sender that feeds its inbound
+    /// queue (for [`fastbft_runtime::NodeSeat::control`]).
+    ///
+    /// `addrs[i]` must be the listener address of process `p_{i+1}`; `pair`
+    /// is this node's key, `dir` the cluster directory used to authenticate
+    /// peers.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] if the listener's local address cannot be read.
+    pub fn start(
+        pair: KeyPair,
+        dir: KeyDirectory,
+        listener: TcpListener,
+        addrs: Vec<SocketAddr>,
+        opts: TcpOptions,
+    ) -> io::Result<(Self, Sender<Inbound<M>>)> {
+        let listener_addr = listener.local_addr()?;
+        let (inbound_tx, inbound_rx) = unbounded();
+        let shared = Arc::new(NetShared {
+            shutdown: AtomicBool::new(false),
+            accepted: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_tx = inbound_tx.clone();
+        let accept_pair = pair.clone();
+        let accept_dir = dir.clone();
+        let my_id = pair.id();
+        let handshake_timeout = opts.handshake_timeout;
+        let max_connections = opts.max_connections;
+        let n_outbound = addrs.len();
+        let listener_thread = std::thread::spawn(move || {
+            accept_loop(
+                listener,
+                accept_pair,
+                accept_dir,
+                my_id,
+                accept_tx,
+                accept_shared,
+                handshake_timeout,
+                max_connections,
+            );
+        });
+
+        let control = inbound_tx.clone();
+        Ok((
+            TcpTransport {
+                id: my_id,
+                pair,
+                dir,
+                addrs,
+                opts,
+                outbound: (0..n_outbound).map(|_| None).collect(),
+                dead_until: vec![None; n_outbound],
+                next_session: 0,
+                inbound_tx,
+                inbound_rx,
+                listener_addr,
+                listener: Some(listener_thread),
+                shared,
+            },
+            control,
+        ))
+    }
+
+    /// The address this node's listener is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener_addr
+    }
+
+    /// Dials `to`, performs the mutual handshake, and returns the
+    /// authenticated outbound link.
+    fn dial(&mut self, to: ProcessId) -> Result<Outbound, io::Error> {
+        // Session ids are unique per (process, connection) within a run:
+        // the MAC key is per-process, so a counter suffices to keep frames
+        // from one connection unreplayable on any other.
+        self.next_session += 1;
+        let session = (u64::from(self.id.0) << 32) | self.next_session;
+        let addr = self.addrs[to.index()];
+        let mut last_err = io::Error::other("no dial attempts made");
+        for attempt in 0..self.opts.connect_retries.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.opts.connect_backoff);
+            }
+            let stream = match TcpStream::connect_timeout(&addr, self.opts.connect_timeout) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            let _ = stream.set_nodelay(true);
+            match self.handshake_as_dialer(stream, to, session) {
+                Ok(out) => return Ok(out),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn handshake_as_dialer(
+        &self,
+        mut stream: TcpStream,
+        to: ProcessId,
+        session: u64,
+    ) -> Result<Outbound, io::Error> {
+        write_msg(&mut stream, &Hello::signed(&self.pair, session))
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        stream.set_read_timeout(Some(self.opts.handshake_timeout))?;
+        let ack: HelloAck = read_msg(&mut stream)
+            .map_err(|e| io::Error::other(e.to_string()))?
+            .ok_or_else(|| io::Error::other("peer closed during handshake"))?;
+        ack.verify(&self.dir, to, session)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        stream.set_read_timeout(None)?;
+        // Frame MACs bind both sides' freshness: the dialer's session id
+        // and the listener's signed nonce. A recorded connection replayed
+        // later meets a fresh listener nonce, so its frames never verify.
+        Ok(Outbound {
+            writer: BufWriter::new(stream),
+            mac: SessionMac::new(self.pair.clone(), mix_session(session, ack.nonce)),
+        })
+    }
+
+    /// Writes one framed, MAC-tagged message on an (if needed, freshly
+    /// dialed) outbound link.
+    fn write_to(&mut self, to: ProcessId, payload: &[u8]) -> Result<(), io::Error> {
+        if self.outbound[to.index()].is_none() {
+            let out = self.dial(to)?;
+            self.outbound[to.index()] = Some(out);
+        }
+        let out = self.outbound[to.index()].as_mut().expect("just dialed");
+        let (seq, mac) = out.mac.tag_next(payload);
+        // Encode the frame body around the borrowed payload instead of
+        // copying it into a `Frame` first (byte-identical; pinned by a
+        // frame-module test).
+        let body = encode_frame_body(self.id, seq, payload, &mac);
+        write_body(&mut out.writer, &body).map_err(|e| io::Error::other(e.to_string()))
+    }
+}
+
+impl<M: SimMessage + Encode + Decode> Transport<M> for TcpTransport<M> {
+    fn send(&mut self, to: ProcessId, msg: M) {
+        if to == self.id {
+            // Self-delivery never touches a socket.
+            let _ = self.inbound_tx.send(Inbound::Peer(self.id, msg));
+            return;
+        }
+        if let Some(deadline) = self.dead_until[to.index()] {
+            if Instant::now() < deadline {
+                // Peer recently unreachable: drop without redialing, as
+                // the model allows for faulty peers.
+                return;
+            }
+            self.dead_until[to.index()] = None;
+        }
+        // The encoding is per-message, so a broadcast encodes the same
+        // payload once per peer. Deliberate: the per-peer session MAC must
+        // be computed per connection anyway and dominates the encode of
+        // these small messages, and deduplicating would need message
+        // identity the `Effects` batch doesn't carry.
+        let payload = to_bytes(&msg);
+        let had_link = self.outbound[to.index()].is_some();
+        let before = Instant::now();
+        if self.write_to(to, &payload).is_ok() {
+            return;
+        }
+        self.outbound[to.index()] = None;
+        // Retry once only if an *established* link broke mid-write; a
+        // failed fresh dial has already burned the whole dial budget.
+        if had_link && self.write_to(to, &payload).is_ok() {
+            return;
+        }
+        self.outbound[to.index()] = None;
+        // Peer unreachable: drop the message and back off. The cooldown
+        // scales with the stall so the event loop keeps ≥ 80% of wall
+        // time even against a peer engineered to make dials slow.
+        let stalled = before.elapsed();
+        let cooldown = self.opts.redial_cooldown.max(stalled * 4);
+        self.dead_until[to.index()] = Some(Instant::now() + cooldown);
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Polled<M> {
+        poll_queue(&self.inbound_rx, timeout)
+    }
+}
+
+impl<M> Drop for TcpTransport<M> {
+    /// Tears the node's networking down without deadlock: flag shutdown,
+    /// unblock every reader by shutting its socket, wake the accept loop
+    /// with a throwaway connection, then join all threads.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for out in self.outbound.iter_mut().flatten() {
+            let _ = out.writer.flush();
+            let _ = out.writer.get_ref().shutdown(Shutdown::Both);
+        }
+        for conn in self.shared.accepted.lock().expect("not poisoned").values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Wake the accept loop; it observes the flag and exits.
+        let _ = TcpStream::connect(self.listener_addr);
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        // Second sweep: a connection accepted concurrently with the first
+        // sweep registered its clone before its handler spawned, and the
+        // listener is joined now, so this one is exhaustive — every handler
+        // blocked on a socket gets unblocked before being joined.
+        for conn in self.shared.accepted.lock().expect("not poisoned").values() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let handlers: Vec<_> = self
+            .shared
+            .handlers
+            .lock()
+            .expect("not poisoned")
+            .drain(..)
+            .collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Accepts connections until shutdown; each accepted stream gets a handler
+/// thread so a stalled handshake can never block other peers.
+#[allow(clippy::too_many_arguments)]
+fn accept_loop<M: SimMessage + Decode>(
+    listener: TcpListener,
+    pair: KeyPair,
+    dir: KeyDirectory,
+    my_id: ProcessId,
+    inbound_tx: Sender<Inbound<M>>,
+    shared: Arc<NetShared>,
+    handshake_timeout: Duration,
+    max_connections: usize,
+) {
+    let mut next_conn_id: u64 = 0;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stopping() {
+                    return;
+                }
+                // Transient accept errors (e.g. fd pressure) must not spin.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.stopping() {
+            return;
+        }
+        // Reap handlers whose connections already ended, so a reconnecting
+        // (or hostile connect-and-drop) peer cannot grow the thread list
+        // without bound; the live-connection cap below bounds
+        // connect-and-hold peers too.
+        {
+            let mut handlers = shared.handlers.lock().expect("not poisoned");
+            let (finished, live): (Vec<_>, Vec<_>) =
+                handlers.drain(..).partition(|h| h.is_finished());
+            *handlers = live;
+            for h in finished {
+                let _ = h.join();
+            }
+        }
+        next_conn_id += 1;
+        let conn_id = next_conn_id;
+        {
+            let mut accepted = shared.accepted.lock().expect("not poisoned");
+            if accepted.len() >= max_connections {
+                // At capacity: refuse by dropping. Correct peers redial.
+                continue;
+            }
+            // Without the registered clone, Drop could never unblock this
+            // connection's handler and shutdown would hang on its join —
+            // so no clone, no handler.
+            match stream.try_clone() {
+                Ok(clone) => accepted.insert(conn_id, clone),
+                Err(_) => continue,
+            };
+        }
+        let pair = pair.clone();
+        let dir = dir.clone();
+        let inbound_tx = inbound_tx.clone();
+        let handler_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            serve_connection(
+                stream,
+                pair,
+                dir,
+                my_id,
+                conn_id,
+                inbound_tx,
+                Arc::clone(&handler_shared),
+                handshake_timeout,
+            );
+            // The connection is over: release its fd clone immediately.
+            handler_shared
+                .accepted
+                .lock()
+                .expect("not poisoned")
+                .remove(&conn_id);
+        });
+        shared.handlers.lock().expect("not poisoned").push(handle);
+    }
+}
+
+/// Runs one accepted connection: handshake, then verified frames into the
+/// inbound queue. Every failure path returns (dropping the connection);
+/// nothing here panics on peer-controlled input.
+#[allow(clippy::too_many_arguments)]
+fn serve_connection<M: SimMessage + Decode>(
+    mut stream: TcpStream,
+    pair: KeyPair,
+    dir: KeyDirectory,
+    my_id: ProcessId,
+    conn_id: u64,
+    inbound_tx: Sender<Inbound<M>>,
+    shared: Arc<NetShared>,
+    handshake_timeout: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(handshake_timeout)).is_err() {
+        return;
+    }
+    let hello: Hello = match read_msg(&mut stream) {
+        Ok(Some(h)) => h,
+        _ => return,
+    };
+    if hello.verify(&dir, my_id).is_err() {
+        return;
+    }
+    // The listener's freshness contribution: unpredictable without this
+    // process's key, unique per connection — what defeats replays of whole
+    // recorded connections.
+    let now_nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let nonce = derive_nonce(&pair, conn_id, now_nanos);
+    if write_msg(&mut stream, &HelloAck::signed(&pair, hello.session, nonce)).is_err() {
+        return;
+    }
+    if stream.set_read_timeout(None).is_err() {
+        return;
+    }
+    let mut verifier = SessionVerifier::new(dir, hello.sender, mix_session(hello.session, nonce));
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        let frame: Frame = match read_msg(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean close, truncation, oversized length, malformed body,
+            // socket error: in every case, stop serving this connection.
+            _ => return,
+        };
+        // The sender field must match the handshake-authenticated peer and
+        // the MAC must verify (which also pins signer and sequence): the
+        // claimed identity is checked cryptographically, never trusted.
+        if frame.sender != verifier.peer()
+            || verifier
+                .verify(frame.seq, &frame.payload, &frame.mac)
+                .is_err()
+        {
+            return;
+        }
+        match from_bytes::<M>(&frame.payload) {
+            Ok(msg) => {
+                let _ = inbound_tx.send(Inbound::Peer(frame.sender, msg));
+            }
+            Err(_) => return,
+        }
+    }
+}

@@ -1,30 +1,26 @@
-//! Thread-per-replica cluster over crossbeam channels.
+//! Thread-per-replica cluster over a pluggable [`Transport`].
 //!
 //! The same [`Actor`] implementations that run under the discrete-event
 //! simulator run here against the wall clock: each replica gets an OS
-//! thread, channels play the reliable authenticated point-to-point links
-//! (the sender id is attached by the runtime, not the sender — a process
-//! cannot spoof its identity), and timer requests are served from a local
-//! timer heap.
+//! thread, a [`Transport`] plays the reliable authenticated point-to-point
+//! links (the sender id is attached by the transport, not the sender — a
+//! process cannot spoof its identity), and timer requests are served from a
+//! local timer heap.
 //!
-//! This is the "it is not simulator-only" proof and the engine behind the
-//! wall-clock benchmarks (E9).
+//! [`spawn`] wires the in-process [`ChannelTransport`]; `fastbft-net`
+//! builds the same cluster over loopback TCP via [`spawn_with`]. Either
+//! way this is the "it is not simulator-only" proof and the engine behind
+//! the wall-clock benchmarks (E9).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use fastbft_sim::{Actor, Effects, SimMessage, SimTime, TimerId};
 use fastbft_types::{ProcessId, Value};
 
-/// What travels between replica threads.
-enum Envelope<M> {
-    /// A protocol message from a peer (sender attached by the runtime).
-    Peer(ProcessId, M),
-    /// Stop the thread.
-    Shutdown,
-}
+use crate::transport::{ChannelTransport, Inbound, Polled, Transport};
 
 /// A decision reported by a replica thread.
 #[derive(Clone, Debug, PartialEq)]
@@ -39,38 +35,83 @@ pub struct Decision {
 
 /// Handle to a running cluster.
 pub struct ClusterHandle<M> {
-    senders: Vec<Sender<Envelope<M>>>,
+    controls: Vec<Sender<Inbound<M>>>,
     threads: Vec<std::thread::JoinHandle<()>>,
     decisions: Receiver<Decision>,
 }
 
-/// Spawns one thread per actor. `tick` converts the protocol's abstract
-/// [`fastbft_sim::SimDuration`] ticks into wall time (timers only — message
-/// transport is as fast as the channels go).
+/// One replica's seat in a cluster: its protocol state machine, the
+/// transport its event loop will run on, and the control sender feeding
+/// that transport's inbound queue (used by [`ClusterHandle::inject`] and
+/// [`ClusterHandle::shutdown`]).
+pub struct NodeSeat<M, T> {
+    /// The protocol state machine.
+    pub actor: Box<dyn Actor<M> + Send>,
+    /// The node's view of the network.
+    pub transport: T,
+    /// Feeds the transport's inbound queue from outside.
+    pub control: Sender<Inbound<M>>,
+}
+
+/// Spawns one thread per actor over the in-process channel transport.
+/// `tick` converts the protocol's abstract [`fastbft_sim::SimDuration`]
+/// ticks into wall time (timers only — message transport is as fast as the
+/// channels go).
 pub fn spawn<M: SimMessage>(
     actors: Vec<Box<dyn Actor<M> + Send>>,
     tick: Duration,
 ) -> ClusterHandle<M> {
-    type Link<M> = (Sender<Envelope<M>>, Receiver<Envelope<M>>);
-    let n = actors.len();
-    let channels: Vec<Link<M>> = (0..n).map(|_| unbounded()).collect();
-    let senders: Vec<Sender<Envelope<M>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+    let mesh = ChannelTransport::mesh(actors.len());
+    let seats = actors
+        .into_iter()
+        .zip(mesh)
+        .map(|(actor, (transport, control))| NodeSeat {
+            actor,
+            transport,
+            control,
+        })
+        .collect();
+    spawn_with(seats, tick)
+}
+
+/// Spawns one thread per seat over an arbitrary [`Transport`] — the
+/// transport-generic engine behind [`spawn`] and `fastbft-net`'s
+/// `spawn_tcp`. Node `i` of the cluster runs as process `p_{i+1}`; the
+/// transport of seat `i` must identify itself accordingly.
+pub fn spawn_with<M: SimMessage, T: Transport<M>>(
+    seats: Vec<NodeSeat<M, T>>,
+    tick: Duration,
+) -> ClusterHandle<M> {
+    let n = seats.len();
     let (decisions_tx, decisions_rx) = unbounded::<Decision>();
     let start = Instant::now();
 
+    let mut controls = Vec::with_capacity(n);
     let mut threads = Vec::with_capacity(n);
-    for (i, mut actor) in actors.into_iter().enumerate() {
+    for (i, seat) in seats.into_iter().enumerate() {
+        let NodeSeat {
+            mut actor,
+            mut transport,
+            control,
+        } = seat;
+        controls.push(control);
         let id = ProcessId::from_index(i);
-        let rx = channels[i].1.clone();
-        let peers = senders.clone();
         let decisions_tx = decisions_tx.clone();
         threads.push(std::thread::spawn(move || {
-            run_node(&mut *actor, id, n, rx, peers, decisions_tx, start, tick);
+            run_node(
+                &mut *actor,
+                id,
+                n,
+                &mut transport,
+                decisions_tx,
+                start,
+                tick,
+            );
         }));
     }
 
     ClusterHandle {
-        senders,
+        controls,
         threads,
         decisions: decisions_rx,
     }
@@ -81,8 +122,7 @@ fn run_node<M: SimMessage>(
     actor: &mut dyn Actor<M>,
     id: ProcessId,
     n: usize,
-    rx: Receiver<Envelope<M>>,
-    peers: Vec<Sender<Envelope<M>>>,
+    transport: &mut impl Transport<M>,
     decisions: Sender<Decision>,
     start: Instant,
     tick: Duration,
@@ -104,8 +144,7 @@ fn run_node<M: SimMessage>(
         ($fx:expr) => {{
             let fx = $fx;
             for (to, msg) in fx.sent() {
-                // A send to a stopped peer is fine; ignore the error.
-                let _ = peers[to.index()].send(Envelope::Peer(id, msg.clone()));
+                transport.send(*to, msg.clone());
             }
             for (delay, timer) in fx.timers_set() {
                 let deadline =
@@ -142,28 +181,17 @@ fn run_node<M: SimMessage>(
             apply!(&fx);
         }
         // Wait for the next message or timer deadline.
-        let result = match timers.peek() {
-            Some(Reverse((deadline, _))) => {
-                let wait = deadline.saturating_duration_since(Instant::now());
-                match rx.recv_timeout(wait) {
-                    Ok(env) => Some(env),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-            None => match rx.recv() {
-                Ok(env) => Some(env),
-                Err(_) => break,
-            },
-        };
-        match result {
-            Some(Envelope::Peer(from, msg)) => {
+        let timeout = timers
+            .peek()
+            .map(|Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()));
+        match transport.recv(timeout) {
+            Polled::Delivered(from, msg) => {
                 let mut fx = Effects::new(id, n, now_ticks(start));
                 actor.on_message(from, msg, &mut fx);
                 apply!(&fx);
             }
-            Some(Envelope::Shutdown) => break,
-            None => {} // timer loop handles it on the next iteration
+            Polled::TimedOut => {} // timer loop handles it on the next iteration
+            Polled::Shutdown | Polled::Closed => break,
         }
     }
 }
@@ -194,13 +222,13 @@ impl<M: SimMessage> ClusterHandle<M> {
     /// Injects a message into a node as if sent by `from` (test hook for
     /// Byzantine drivers living outside the cluster).
     pub fn inject(&self, from: ProcessId, to: ProcessId, msg: M) {
-        let _ = self.senders[to.index()].send(Envelope::Peer(from, msg));
+        let _ = self.controls[to.index()].send(Inbound::Peer(from, msg));
     }
 
     /// Stops all threads and joins them.
     pub fn shutdown(self) {
-        for s in &self.senders {
-            let _ = s.send(Envelope::Shutdown);
+        for s in &self.controls {
+            let _ = s.send(Inbound::Shutdown);
         }
         for t in self.threads {
             let _ = t.join();

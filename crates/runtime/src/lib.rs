@@ -4,7 +4,11 @@
 //! environment: deterministic, schedulable, adversary-friendly. This crate
 //! is the other half of the story — the same I/O-free
 //! [`Actor`](fastbft_sim::Actor) state machines running on OS threads with
-//! crossbeam channels as the reliable authenticated links and real timers.
+//! real timers, over a pluggable [`Transport`] that plays the paper's
+//! reliable authenticated links (§2.1). Two transports exist today:
+//! the in-process [`ChannelTransport`] (below) and `fastbft-net`'s
+//! `TcpTransport` (real sockets, MAC-authenticated frames); [`spawn`] wires
+//! the former, [`spawn_with`] accepts either.
 //!
 //! ```no_run
 //! use std::time::Duration;
@@ -33,5 +37,7 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod transport;
 
-pub use cluster::{spawn, ClusterHandle, Decision};
+pub use cluster::{spawn, spawn_with, ClusterHandle, Decision, NodeSeat};
+pub use transport::{ChannelTransport, Inbound, Polled, Transport};

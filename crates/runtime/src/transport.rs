@@ -1,0 +1,198 @@
+//! The transport abstraction the replica event loop runs on.
+//!
+//! [`run_node`](crate::spawn_with) needs exactly two things from the
+//! network: deliver my outgoing messages, and hand me incoming ones (with a
+//! deadline, so the timer heap can fire). Everything else — channels vs
+//! sockets, MAC verification, reconnects — lives behind the [`Transport`]
+//! trait, so the same event loop drives the in-process
+//! [`ChannelTransport`] and `fastbft-net`'s `TcpTransport`.
+//!
+//! A transport's receive side is fed through a control sender of
+//! [`Inbound`] values: the cluster handle keeps a clone per node to inject
+//! test messages and to deliver the shutdown signal, and socket reader
+//! threads push authenticated deliveries through the same queue.
+
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use fastbft_sim::SimMessage;
+use fastbft_types::ProcessId;
+
+/// An event queued toward a node's event loop.
+#[derive(Debug)]
+pub enum Inbound<M> {
+    /// A protocol message from `ProcessId`. For cluster members the sender
+    /// id is attached by the transport (channel runtime) or authenticated
+    /// cryptographically (TCP transport) — never taken from the peer's own
+    /// claim.
+    Peer(ProcessId, M),
+    /// Stop the node's event loop.
+    Shutdown,
+}
+
+/// Outcome of one [`Transport::recv`] call.
+#[derive(Debug)]
+pub enum Polled<M> {
+    /// A message from a peer was delivered.
+    Delivered(ProcessId, M),
+    /// The shutdown signal arrived.
+    Shutdown,
+    /// The deadline passed with nothing to deliver.
+    TimedOut,
+    /// The transport can never deliver again (every feeder is gone).
+    Closed,
+}
+
+/// Reliable authenticated point-to-point links, as assumed by the paper's
+/// model (§2.1), from one node's point of view.
+///
+/// Implementations must guarantee that a [`Polled::Delivered`] sender id is
+/// the true origin of the message among cluster members — protocols count
+/// quorums by sender, so this is a safety-critical invariant, not a
+/// convenience.
+pub trait Transport<M: SimMessage>: Send + 'static {
+    /// Sends `msg` to `to`. Sends to self must be delivered like any other
+    /// message (quorum counting includes the sender). Sends to stopped or
+    /// unreachable peers are silently dropped: the model only promises
+    /// delivery between *correct* processes.
+    fn send(&mut self, to: ProcessId, msg: M);
+
+    /// Waits for the next inbound event, at most `timeout` (`None` = wait
+    /// forever).
+    fn recv(&mut self, timeout: Option<Duration>) -> Polled<M>;
+}
+
+/// Maps a drained [`Inbound`] queue entry to a [`Polled`] outcome — shared
+/// by every queue-fed transport implementation.
+pub fn poll_queue<M>(rx: &Receiver<Inbound<M>>, timeout: Option<Duration>) -> Polled<M> {
+    let event = match timeout {
+        Some(wait) => match rx.recv_timeout(wait) {
+            Ok(event) => event,
+            Err(RecvTimeoutError::Timeout) => return Polled::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => return Polled::Closed,
+        },
+        None => match rx.recv() {
+            Ok(event) => event,
+            Err(_) => return Polled::Closed,
+        },
+    };
+    match event {
+        Inbound::Peer(from, msg) => Polled::Delivered(from, msg),
+        Inbound::Shutdown => Polled::Shutdown,
+    }
+}
+
+/// The in-process transport: one crossbeam channel per node plays the
+/// authenticated link, and the transport (not the sender) attaches the
+/// sender id — a thread cannot spoof its identity.
+pub struct ChannelTransport<M> {
+    id: ProcessId,
+    peers: Vec<Sender<Inbound<M>>>,
+    rx: Receiver<Inbound<M>>,
+}
+
+impl<M: SimMessage> ChannelTransport<M> {
+    /// Builds a fully connected mesh of `n` channel transports. Returns
+    /// each node's transport paired with the control sender that feeds its
+    /// queue (for injection and shutdown).
+    pub fn mesh(n: usize) -> Vec<(ChannelTransport<M>, Sender<Inbound<M>>)> {
+        type Link<M> = (Sender<Inbound<M>>, Receiver<Inbound<M>>);
+        let links: Vec<Link<M>> = (0..n).map(|_| unbounded()).collect();
+        let peers: Vec<Sender<Inbound<M>>> = links.iter().map(|(s, _)| s.clone()).collect();
+        links
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tx, rx))| {
+                (
+                    ChannelTransport {
+                        id: ProcessId::from_index(i),
+                        peers: peers.clone(),
+                        rx,
+                    },
+                    tx,
+                )
+            })
+            .collect()
+    }
+}
+
+impl<M: SimMessage> Transport<M> for ChannelTransport<M> {
+    fn send(&mut self, to: ProcessId, msg: M) {
+        // A send to a stopped peer is fine; ignore the error.
+        let _ = self.peers[to.index()].send(Inbound::Peer(self.id, msg));
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Polled<M> {
+        poll_queue(&self.rx, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(u32);
+    impl SimMessage for Ping {
+        fn kind(&self) -> &'static str {
+            "ping"
+        }
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    #[test]
+    fn mesh_attaches_true_sender_ids() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(3);
+        let (mut t2, _) = mesh.remove(2);
+        let (mut t0, _) = mesh.remove(0);
+        t2.send(ProcessId(1), Ping(7));
+        match t0.recv(Some(Duration::from_secs(1))) {
+            Polled::Delivered(from, Ping(7)) => assert_eq!(from, ProcessId(3)),
+            other => panic!("unexpected poll result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(1);
+        let (mut t, _) = mesh.remove(0);
+        t.send(ProcessId(1), Ping(1));
+        assert!(matches!(
+            t.recv(Some(Duration::from_secs(1))),
+            Polled::Delivered(ProcessId(1), Ping(1))
+        ));
+    }
+
+    #[test]
+    fn control_sender_injects_and_shuts_down() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(2);
+        let (mut t, control) = mesh.remove(0);
+        control.send(Inbound::Peer(ProcessId(2), Ping(9))).unwrap();
+        control.send(Inbound::Shutdown).unwrap();
+        assert!(matches!(
+            t.recv(None),
+            Polled::Delivered(ProcessId(2), Ping(9))
+        ));
+        assert!(matches!(t.recv(None), Polled::Shutdown));
+    }
+
+    #[test]
+    fn timeout_and_close_are_distinguished() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(1);
+        let (mut t, control) = mesh.remove(0);
+        assert!(matches!(
+            t.recv(Some(Duration::from_millis(1))),
+            Polled::TimedOut
+        ));
+        // Drop every feeder: the transport's own peers list still holds a
+        // sender for node 1 (itself), so sever that too by consuming it.
+        drop(control);
+        t.peers.clear();
+        assert!(matches!(
+            t.recv(Some(Duration::from_millis(1))),
+            Polled::Closed
+        ));
+    }
+}

@@ -31,6 +31,21 @@ use std::fmt;
 /// cannot force a huge allocation.
 pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
 
+/// Maximum byte length of one framed network message (the body of a
+/// length-prefixed frame on a socket, as read by `fastbft-net`).
+///
+/// [`MAX_FIELD_LEN`] bounds every *inner* field, so the largest legal frame
+/// is one maximal field plus a small fixed header (sender id, sequence
+/// number, payload length prefix, MAC); 256 bytes of slack covers any frame
+/// header this workspace defines. A peer declaring a larger frame is hostile
+/// or corrupt — the transport must drop the connection *before* allocating.
+pub const MAX_FRAME_LEN: usize = MAX_FIELD_LEN + 256;
+
+// The frame bound must admit a maximal field plus a small header, and
+// nothing unboundedly larger.
+const _: () = assert!(MAX_FRAME_LEN > MAX_FIELD_LEN);
+const _: () = assert!(MAX_FRAME_LEN - MAX_FIELD_LEN <= 4096);
+
 /// Error produced when decoding malformed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -150,11 +165,27 @@ impl<'a> WireReader<'a> {
         Ok(self.take(1)?[0])
     }
 
-    /// Reads a `u32` length prefix, validating it against [`MAX_FIELD_LEN`].
+    /// Reads a `u32` length prefix, validating it against [`MAX_FIELD_LEN`]
+    /// *and* against the bytes actually remaining.
+    ///
+    /// The remaining-bytes check is sound because every `Decode` impl in
+    /// this codec consumes at least one byte per decoded element, so a
+    /// declared count larger than the remaining input can never decode; it
+    /// is rejected up front (as [`WireError::UnexpectedEnd`]) rather than
+    /// after element-by-element work. Together with the [`MAX_FIELD_LEN`]
+    /// cap this is the DoS guard the network transport relies on: hostile
+    /// length prefixes can force neither large allocations nor large
+    /// decoding loops.
     pub fn take_len(&mut self) -> Result<usize, WireError> {
         let len = u32::decode(self)? as usize;
         if len > MAX_FIELD_LEN {
             return Err(WireError::LengthOverflow { len });
+        }
+        if len > self.remaining() {
+            return Err(WireError::UnexpectedEnd {
+                needed: len,
+                remaining: self.remaining(),
+            });
         }
         Ok(len)
     }
@@ -422,6 +453,43 @@ mod tests {
         let bytes = [0xFF, 0xFF, 0xFF, 0xFF];
         assert!(matches!(
             from_bytes::<Vec<u8>>(&bytes),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn declared_length_beyond_input_rejected_up_front() {
+        // Declares 1 MiB of bytes but supplies 2: must fail immediately on
+        // the length check, not after attempting a large decode.
+        let mut bytes = to_bytes(&(1024u32 * 1024));
+        bytes.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            from_bytes::<Vec<u8>>(&bytes),
+            Err(WireError::UnexpectedEnd {
+                needed: 1_048_576,
+                remaining: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn hostile_lengths_rejected_for_nested_sequences() {
+        // Outer sequence of 3 inner byte strings, where the middle inner
+        // string lies about its length.
+        let mut bytes = Vec::new();
+        3u32.encode(&mut bytes);
+        vec![1u8].encode(&mut bytes);
+        (MAX_FIELD_LEN as u32).encode(&mut bytes); // huge inner claim
+        assert!(matches!(
+            from_bytes::<Vec<Vec<u8>>>(&bytes),
+            Err(WireError::UnexpectedEnd { .. })
+        ));
+        // And one that overflows the absolute cap inside a valid outer.
+        let mut bytes = Vec::new();
+        1u32.encode(&mut bytes);
+        (MAX_FIELD_LEN as u32 + 1).encode(&mut bytes);
+        assert!(matches!(
+            from_bytes::<Vec<Vec<u8>>>(&bytes),
             Err(WireError::LengthOverflow { .. })
         ));
     }

@@ -15,7 +15,9 @@
 //!   with bounded progress certificates, view synchronizer);
 //! * [`baselines`] — PBFT-style three-step and FaB Paxos two-step protocols;
 //! * [`smr`] — a replicated state machine / KV store built on consensus;
-//! * [`runtime`] — a thread-per-replica real-time runtime.
+//! * [`runtime`] — a thread-per-replica real-time runtime over a pluggable
+//!   transport;
+//! * [`net`] — the TCP transport: authenticated frames over real sockets.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@
 pub use fastbft_baselines as baselines;
 pub use fastbft_core as core;
 pub use fastbft_crypto as crypto;
+pub use fastbft_net as net;
 pub use fastbft_runtime as runtime;
 pub use fastbft_sim as sim;
 pub use fastbft_smr as smr;

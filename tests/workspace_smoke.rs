@@ -47,7 +47,22 @@ fn facade_reexports_resolve() {
     #[allow(unused)]
     fn runtime_spawn_resolves() {
         let _ = fastbft::runtime::spawn::<fastbft::core::Message>;
+        let _ = fastbft::runtime::spawn_with::<
+            fastbft::core::Message,
+            fastbft::runtime::ChannelTransport<fastbft::core::Message>,
+        >;
     }
+
+    // fastbft::net (facade path resolves; socket runs are covered by the
+    // net crate's own tests). `transport_is_pluggable` only compiles if
+    // TcpTransport implements the runtime's Transport trait.
+    #[allow(unused)]
+    fn net_spawn_resolves() {
+        let _ = fastbft::net::spawn_tcp::<fastbft::core::Message>;
+        let _ = fastbft::net::transport_is_pluggable::<fastbft::core::Message>;
+    }
+    let _opts = fastbft::net::TcpOptions::default();
+    assert_eq!(fastbft::net::frame::MAGIC, 0x4642_4E31, "\"FBN1\"");
 }
 
 /// `Config::new(4, 1, 1)` — the paper's headline `n = 3f + 2t − 1` point —
