@@ -108,6 +108,33 @@ pub fn spawn_tcp_with<M: SimMessage + Encode + Decode>(
     tick: Duration,
     opts: TcpOptions,
 ) -> io::Result<(ClusterHandle<M>, Vec<SocketAddr>)> {
+    let (seats, addrs) = tcp_seats(actors, pairs, dir, opts)?;
+    Ok((spawn_with(seats, tick), addrs))
+}
+
+/// Builds the loopback-TCP [`NodeSeat`]s for a cluster *without* spawning
+/// it: one ephemeral `127.0.0.1` listener per replica (bound before
+/// returning, so no startup races), transports dialing lazily on first
+/// send. This is the building block behind [`spawn_tcp`] and the way to
+/// run non-consensus actors — e.g. `fastbft_smr`'s slot-multiplexed SMR
+/// nodes — over authenticated TCP: pass the seats to
+/// [`fastbft_runtime::spawn_with`].
+///
+/// # Errors
+///
+/// An [`io::Error`] if binding the loopback listeners fails.
+///
+/// # Panics
+///
+/// Panics if `pairs` does not line up with `actors` (wrong length or a key
+/// pair whose process id is not `p_{i+1}`).
+#[allow(clippy::type_complexity)]
+pub fn tcp_seats<M: SimMessage + Encode + Decode>(
+    actors: Vec<Box<dyn Actor<M> + Send>>,
+    pairs: Vec<KeyPair>,
+    dir: KeyDirectory,
+    opts: TcpOptions,
+) -> io::Result<(Vec<NodeSeat<M, TcpTransport<M>>>, Vec<SocketAddr>)> {
     let n = actors.len();
     assert_eq!(pairs.len(), n, "one key pair per actor");
     for (i, pair) in pairs.iter().enumerate() {
@@ -137,7 +164,7 @@ pub fn spawn_tcp_with<M: SimMessage + Encode + Decode>(
             control,
         });
     }
-    Ok((spawn_with(seats, tick), addrs))
+    Ok((seats, addrs))
 }
 
 /// Compile-time proof that [`TcpTransport`] satisfies the runtime's

@@ -33,11 +33,30 @@ pub struct Decision {
     pub elapsed: Duration,
 }
 
+/// One applied-command event reported by a replica thread — the multi-slot
+/// (state machine replication) analogue of [`Decision`]. A replica emits
+/// one of these per command it applies, via
+/// [`Effects::record_applied`](fastbft_sim::Effects::record_applied);
+/// the runtime forwards every event instead of suppressing all but the
+/// first, so the handle observes the full replicated log as it grows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Applied {
+    /// The applying process.
+    pub process: ProcessId,
+    /// Position of the command in the process's applied log.
+    pub index: u64,
+    /// The applied command.
+    pub command: Value,
+    /// Wall-clock time from cluster start to the apply.
+    pub elapsed: Duration,
+}
+
 /// Handle to a running cluster.
 pub struct ClusterHandle<M> {
     controls: Vec<Sender<Inbound<M>>>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    threads: Vec<std::thread::JoinHandle<Box<dyn Actor<M> + Send>>>,
     decisions: Receiver<Decision>,
+    applied: Receiver<Applied>,
 }
 
 /// One replica's seat in a cluster: its protocol state machine, the
@@ -84,29 +103,32 @@ pub fn spawn_with<M: SimMessage, T: Transport<M>>(
 ) -> ClusterHandle<M> {
     let n = seats.len();
     let (decisions_tx, decisions_rx) = unbounded::<Decision>();
+    let (applied_tx, applied_rx) = unbounded::<Applied>();
     let start = Instant::now();
 
     let mut controls = Vec::with_capacity(n);
     let mut threads = Vec::with_capacity(n);
     for (i, seat) in seats.into_iter().enumerate() {
         let NodeSeat {
-            mut actor,
+            actor,
             mut transport,
             control,
         } = seat;
         controls.push(control);
         let id = ProcessId::from_index(i);
         let decisions_tx = decisions_tx.clone();
+        let applied_tx = applied_tx.clone();
         threads.push(std::thread::spawn(move || {
             run_node(
-                &mut *actor,
+                actor,
                 id,
                 n,
                 &mut transport,
                 decisions_tx,
+                applied_tx,
                 start,
                 tick,
-            );
+            )
         }));
     }
 
@@ -114,21 +136,42 @@ pub fn spawn_with<M: SimMessage, T: Transport<M>>(
         controls,
         threads,
         decisions: decisions_rx,
+        applied: applied_rx,
     }
+}
+
+/// Converts a protocol-tick delay into wall time without the silent `u32`
+/// truncation the runtime used to apply: the product is computed in `u128`
+/// nanoseconds and saturates at `Duration::from_nanos(u64::MAX)` (~584
+/// years) instead of wrapping or clamping the tick count.
+fn ticks_to_duration(tick: Duration, delay_ticks: u64) -> Duration {
+    let nanos = tick.as_nanos().saturating_mul(u128::from(delay_ticks));
+    if nanos > u128::from(u64::MAX) {
+        Duration::from_nanos(u64::MAX)
+    } else {
+        Duration::from_nanos(nanos as u64)
+    }
+}
+
+/// Arms a timer `delay` from `now`, saturating at the platform's far
+/// future if the instant arithmetic itself would overflow.
+fn timer_deadline(now: Instant, tick: Duration, delay_ticks: u64) -> Instant {
+    now.checked_add(ticks_to_duration(tick, delay_ticks))
+        .unwrap_or_else(|| now + Duration::from_secs(60 * 60 * 24 * 3650))
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_node<M: SimMessage>(
-    actor: &mut dyn Actor<M>,
+    mut actor: Box<dyn Actor<M> + Send>,
     id: ProcessId,
     n: usize,
     transport: &mut impl Transport<M>,
     decisions: Sender<Decision>,
+    applied: Sender<Applied>,
     start: Instant,
     tick: Duration,
-) {
+) -> Box<dyn Actor<M> + Send> {
     let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
-    let mut decided = false;
 
     let now_ticks = |start: Instant| -> SimTime {
         let ticks = if tick.is_zero() {
@@ -139,7 +182,10 @@ fn run_node<M: SimMessage>(
         SimTime(ticks)
     };
 
-    // Effect application shared by all three callbacks.
+    // Effect application shared by all four callbacks. Every decision and
+    // every applied-command event is forwarded — a multi-slot actor reports
+    // one event per commit, and suppressing repeats is the *consumer's*
+    // choice (`await_decisions` dedups per process), not the event loop's.
     macro_rules! apply {
         ($fx:expr) => {{
             let fx = $fx;
@@ -147,19 +193,25 @@ fn run_node<M: SimMessage>(
                 transport.send(*to, msg.clone());
             }
             for (delay, timer) in fx.timers_set() {
-                let deadline =
-                    Instant::now() + tick.saturating_mul(delay.0.min(u32::MAX as u64) as u32);
-                timers.push(Reverse((deadline, timer.0)));
+                timers.push(Reverse((
+                    timer_deadline(Instant::now(), tick, delay.0),
+                    timer.0,
+                )));
             }
             if let Some(value) = fx.decision_made() {
-                if !decided {
-                    decided = true;
-                    let _ = decisions.send(Decision {
-                        process: id,
-                        value: value.clone(),
-                        elapsed: start.elapsed(),
-                    });
-                }
+                let _ = decisions.send(Decision {
+                    process: id,
+                    value: value.clone(),
+                    elapsed: start.elapsed(),
+                });
+            }
+            for (index, command) in fx.applied_log() {
+                let _ = applied.send(Applied {
+                    process: id,
+                    index: *index,
+                    command: command.clone(),
+                    elapsed: start.elapsed(),
+                });
             }
         }};
     }
@@ -190,10 +242,16 @@ fn run_node<M: SimMessage>(
                 actor.on_message(from, msg, &mut fx);
                 apply!(&fx);
             }
+            Polled::Client(command) => {
+                let mut fx = Effects::new(id, n, now_ticks(start));
+                actor.on_client(command, &mut fx);
+                apply!(&fx);
+            }
             Polled::TimedOut => {} // timer loop handles it on the next iteration
             Polled::Shutdown | Polled::Closed => break,
         }
     }
+    actor
 }
 
 impl<M: SimMessage> ClusterHandle<M> {
@@ -225,14 +283,50 @@ impl<M: SimMessage> ClusterHandle<M> {
         let _ = self.controls[to.index()].send(Inbound::Peer(from, msg));
     }
 
-    /// Stops all threads and joins them.
-    pub fn shutdown(self) {
+    /// Submits a client command to one node of the *running* cluster,
+    /// routed to its actor's
+    /// [`on_client`](fastbft_sim::Actor::on_client) callback. Commands sent
+    /// to a single node commit only when that node leads a slot (possibly
+    /// after view-change timeouts); the standard SMR client pattern is
+    /// [`submit_all`](ClusterHandle::submit_all).
+    pub fn submit(&self, to: ProcessId, command: Value) {
+        let _ = self.controls[to.index()].send(Inbound::Client(command));
+    }
+
+    /// Submits a client command to every node — the paper's §1.1 client
+    /// model (a command reaches all replicas; whichever leads the next slot
+    /// proposes it, and identity dedup keeps execution at-most-once).
+    pub fn submit_all(&self, command: Value) {
+        for control in &self.controls {
+            let _ = control.send(Inbound::Client(command.clone()));
+        }
+    }
+
+    /// The stream of applied-command events from all nodes. Events from one
+    /// node arrive in log order; events from different nodes interleave
+    /// arbitrarily.
+    pub fn applied_events(&self) -> &Receiver<Applied> {
+        &self.applied
+    }
+
+    /// Stops all threads, joins them, and hands back the actors in seat
+    /// order so callers can inspect final state (e.g. an SMR node's applied
+    /// log and state machine) after the run.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a replica thread's panic (original payload intact, via
+    /// `resume_unwind`) instead of silently dropping its seat — swallowing
+    /// it would both mask the original bug and shift every later actor out
+    /// of seat order.
+    pub fn shutdown(self) -> Vec<Box<dyn Actor<M> + Send>> {
         for s in &self.controls {
             let _ = s.send(Inbound::Shutdown);
         }
-        for t in self.threads {
-            let _ = t.join();
-        }
+        self.threads
+            .into_iter()
+            .map(|t| t.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     }
 }
 
@@ -267,6 +361,29 @@ mod tests {
                 }
             })
             .collect()
+    }
+
+    #[test]
+    fn tick_delays_beyond_u32_are_not_truncated() {
+        // The old conversion clamped the tick count through `u32`, silently
+        // shortening any delay beyond u32::MAX ticks to ~u32::MAX ticks.
+        let tick = Duration::from_millis(1);
+        let delay = 1u64 << 40; // ≫ u32::MAX ticks
+        let d = ticks_to_duration(tick, delay);
+        assert_eq!(d, Duration::from_millis(1 << 40));
+        // What the buggy conversion produced — must NOT be the answer.
+        assert!(d > tick.saturating_mul(u32::MAX));
+    }
+
+    #[test]
+    fn tick_delays_saturate_instead_of_overflowing() {
+        let d = ticks_to_duration(Duration::from_secs(1), u64::MAX);
+        assert_eq!(d, Duration::from_nanos(u64::MAX));
+        // Zero tick (as-fast-as-possible clusters) stays zero.
+        assert_eq!(ticks_to_duration(Duration::ZERO, u64::MAX), Duration::ZERO);
+        // And the deadline helper never panics on Instant overflow.
+        let far = timer_deadline(Instant::now(), Duration::from_secs(1), u64::MAX);
+        assert!(far > Instant::now());
     }
 
     #[test]

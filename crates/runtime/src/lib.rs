@@ -39,5 +39,5 @@
 mod cluster;
 pub mod transport;
 
-pub use cluster::{spawn, spawn_with, ClusterHandle, Decision, NodeSeat};
+pub use cluster::{spawn, spawn_with, Applied, ClusterHandle, Decision, NodeSeat};
 pub use transport::{ChannelTransport, Inbound, Polled, Transport};

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use fastbft_sim::SimMessage;
-use fastbft_types::ProcessId;
+use fastbft_types::{ProcessId, Value};
 
 /// An event queued toward a node's event loop.
 #[derive(Debug)]
@@ -26,6 +26,10 @@ pub enum Inbound<M> {
     /// cryptographically (TCP transport) — never taken from the peer's own
     /// claim.
     Peer(ProcessId, M),
+    /// A client command submitted to this node while the cluster runs
+    /// (routed to [`fastbft_sim::Actor::on_client`]). Clients are outside
+    /// the `n`-process membership, so no sender id is attached.
+    Client(Value),
     /// Stop the node's event loop.
     Shutdown,
 }
@@ -35,6 +39,8 @@ pub enum Inbound<M> {
 pub enum Polled<M> {
     /// A message from a peer was delivered.
     Delivered(ProcessId, M),
+    /// A client command was submitted.
+    Client(Value),
     /// The shutdown signal arrived.
     Shutdown,
     /// The deadline passed with nothing to deliver.
@@ -78,6 +84,7 @@ pub fn poll_queue<M>(rx: &Receiver<Inbound<M>>, timeout: Option<Duration>) -> Po
     };
     match event {
         Inbound::Peer(from, msg) => Polled::Delivered(from, msg),
+        Inbound::Client(command) => Polled::Client(command),
         Inbound::Shutdown => Polled::Shutdown,
     }
 }
@@ -176,6 +183,17 @@ mod tests {
             Polled::Delivered(ProcessId(2), Ping(9))
         ));
         assert!(matches!(t.recv(None), Polled::Shutdown));
+    }
+
+    #[test]
+    fn client_commands_flow_through_the_control_sender() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(2);
+        let (mut t, control) = mesh.remove(0);
+        control.send(Inbound::Client(Value::from_u64(9))).unwrap();
+        match t.recv(None) {
+            Polled::Client(cmd) => assert_eq!(cmd, Value::from_u64(9)),
+            other => panic!("unexpected poll result: {other:?}"),
+        }
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub trait Actor<M: SimMessage> {
     /// Invoked when a timer previously set via [`Effects::set_timer`] fires.
     fn on_timer(&mut self, _timer: TimerId, _fx: &mut Effects<M>) {}
 
+    /// Invoked when a *client* submits a command to this process — the
+    /// ingress path of a replicated state machine, as opposed to
+    /// [`on_message`](Actor::on_message), which carries peer protocol
+    /// traffic. Single-shot consensus actors have no client path, so the
+    /// default ignores the command.
+    fn on_client(&mut self, _command: Value, _fx: &mut Effects<M>) {}
+
     /// Optional human-readable label used in traces.
     fn label(&self) -> &'static str {
         "actor"
@@ -65,6 +72,7 @@ pub struct Effects<M> {
     pub(crate) sends: Vec<(ProcessId, M)>,
     pub(crate) timers: Vec<(SimDuration, TimerId)>,
     pub(crate) decision: Option<Value>,
+    pub(crate) applied: Vec<(u64, Value)>,
     pub(crate) halt: bool,
 }
 
@@ -82,6 +90,7 @@ impl<M: SimMessage> Effects<M> {
             sends: Vec::new(),
             timers: Vec::new(),
             decision: None,
+            applied: Vec::new(),
             halt: false,
         }
     }
@@ -152,6 +161,21 @@ impl<M: SimMessage> Effects<M> {
     /// as a safety violation.
     pub fn decide(&mut self, value: Value) {
         self.decision = Some(value);
+    }
+
+    /// Records that the actor applied `command` at log position `index` —
+    /// the multi-slot analogue of [`decide`](Effects::decide): a replicated
+    /// state machine emits one of these per applied command rather than a
+    /// single terminal decision. The thread runtime forwards them to
+    /// `ClusterHandle::applied_events`; the simulator exposes them through
+    /// this buffer for harness inspection.
+    pub fn record_applied(&mut self, index: u64, command: &Value) {
+        self.applied.push((index, command.clone()));
+    }
+
+    /// The applied-command events recorded so far, in application order.
+    pub fn applied_log(&self) -> &[(u64, Value)] {
+        &self.applied
     }
 
     /// Permanently stops this actor (used to model crashes from within).

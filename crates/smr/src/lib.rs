@@ -10,7 +10,10 @@
 //! * [`SmrNode`] — one consensus instance per log slot, applied in order
 //!   ([`multiplex`]);
 //! * [`SmrSimCluster`] — a ready-made simulated cluster with log-consistency
-//!   checking ([`harness`]).
+//!   checking ([`harness`]);
+//! * [`SmrClusterHandle`] — the same nodes on the wall-clock thread
+//!   runtime, over channels or authenticated TCP, with live client
+//!   submission and a per-slot applied-event stream ([`runtime`]).
 //!
 //! ```
 //! use fastbft_smr::{KvCommand, KvStore, SmrSimCluster};
@@ -38,8 +41,10 @@ pub mod harness;
 pub mod kv;
 pub mod machine;
 pub mod multiplex;
+pub mod runtime;
 
-pub use harness::{SmrReport, SmrSimCluster};
+pub use harness::{logs_consistent, SmrReport, SmrSimCluster};
 pub use kv::{KvCommand, KvOutput, KvStore};
 pub use machine::{CountingMachine, StateMachine};
 pub use multiplex::{SlotMessage, SmrNode};
+pub use runtime::{as_smr_node, smr_actors, SmrClusterHandle};

@@ -5,8 +5,24 @@
 //! node's [`StateMachine`] strictly in slot order, so all replicas execute
 //! the same command sequence — the replicated state machine of the paper's
 //! introduction.
+//!
+//! Three invariants beyond plain slot routing:
+//!
+//! * **At-most-once execution.** Commands a node proposes are moved into a
+//!   per-slot in-flight set (never re-proposed while a slot is pipelined),
+//!   and applying dedups by command identity — a command decided in two
+//!   slots (possible when slots overlap, or when several nodes propose the
+//!   same broadcast command) executes and is logged exactly once.
+//! * **Bounded buffering.** Messages for slots beyond the instantiation
+//!   window are stashed, but the stash is bounded in both dimensions (slot
+//!   horizon and total message count) so a Byzantine peer spraying frames
+//!   for arbitrarily distant slots cannot exhaust memory.
+//! * **Idle quiescence.** The pipeline opens new slots only while there is
+//!   work (pending or in-flight commands, or a peer demonstrably ahead);
+//!   an idle cluster stops proposing filler instead of burning CPU — a
+//!   client command (see [`Actor::on_client`]) restarts it.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use fastbft_core::message::Message;
 use fastbft_core::replica::{Replica, ReplicaOptions};
@@ -35,9 +51,24 @@ impl SimMessage for SlotMessage {
     }
 }
 
+// Wire encoding: a slot tag followed by the canonical message encoding, so
+// slot-tagged frames travel the authenticated TCP transport exactly like
+// single-shot `Message` frames do.
+fastbft_types::impl_wire_struct!(SlotMessage { slot, inner });
+
 /// How many slots ahead of the lowest unapplied slot a node will
 /// instantiate replicas for. Messages beyond the window are buffered.
 const SLOT_WINDOW: u64 = 64;
+
+/// Messages for slots at or beyond `applied + MAX_STASH_AHEAD` are dropped
+/// rather than stashed: no correct peer's pipeline runs this far ahead of a
+/// node it shares quorums with, so such traffic is hostile or hopeless.
+const MAX_STASH_AHEAD: u64 = 4 * SLOT_WINDOW;
+
+/// Total messages the stash may hold across all slots. When full, messages
+/// for the farthest slots are evicted first — the nearest slots are the
+/// ones that unblock the pipeline.
+const MAX_STASHED_MESSAGES: usize = 4096;
 
 /// Timer namespace stride: slot id in the high bits, the replica's own
 /// timer generation in the low bits.
@@ -60,10 +91,24 @@ pub struct SmrNode<S: StateMachine> {
     slots: BTreeMap<u64, Replica>,
     /// Decided but possibly not yet applied values.
     decided: BTreeMap<u64, Value>,
-    /// Next slot to apply (== number of applied commands).
+    /// Next slot to apply.
     applied: u64,
-    /// Messages for slots beyond the window.
+    /// Commands this node drained from `pending` into a slot proposal, by
+    /// slot. Re-queued at apply time if the slot decided something else.
+    in_flight: BTreeMap<u64, Vec<Value>>,
+    /// Slots `< propose_cursor` may no longer drain `pending` (keeps
+    /// batches committing in submission order even when slots open out of
+    /// order under adversarial scheduling).
+    propose_cursor: u64,
+    /// Digests of every applied client command (at-most-once guard): 32
+    /// bytes per command regardless of command size, so a Byzantine leader
+    /// committing large opaque values cannot inflate it beyond the log's
+    /// own growth.
+    applied_cmds: HashSet<fastbft_crypto::Digest>,
+    /// Messages for slots beyond the window, bounded (see module docs).
     stashed: BTreeMap<u64, Vec<(ProcessId, Message)>>,
+    /// Total messages across all `stashed` buckets.
+    stashed_total: usize,
     /// The applied command log (for cross-replica assertions).
     log: Vec<Value>,
 }
@@ -90,7 +135,11 @@ impl<S: StateMachine> SmrNode<S> {
             slots: BTreeMap::new(),
             decided: BTreeMap::new(),
             applied: 0,
+            in_flight: BTreeMap::new(),
+            propose_cursor: 0,
+            applied_cmds: HashSet::new(),
             stashed: BTreeMap::new(),
+            stashed_total: 0,
             log: Vec::new(),
         }
     }
@@ -135,15 +184,38 @@ impl<S: StateMachine> SmrNode<S> {
         &self.machine
     }
 
-    /// Commands still waiting to be committed.
+    /// Commands still waiting to be committed (queued or in flight).
     pub fn pending(&self) -> usize {
-        self.pending.len()
+        self.pending.len() + self.in_flight.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Messages currently stashed for beyond-window slots (bounded; for
+    /// hostile-peer tests and monitoring).
+    pub fn stashed_messages(&self) -> usize {
+        self.stashed_total
+    }
+
+    /// Currently open consensus instances (for quiescence assertions).
+    pub fn open_slots(&self) -> usize {
+        self.slots.len()
     }
 
     /// The slot proposal: a batch of up to `batch_size` queued commands
-    /// (or the idle filler), encoded as one consensus value.
-    fn input_for_slot(&self, _slot: u64) -> Value {
-        let mut cmds: Vec<Value> = self.pending.iter().take(self.batch_size).cloned().collect();
+    /// (or the idle filler), encoded as one consensus value. Drained
+    /// commands move to the slot's in-flight set so a pipelined slot can
+    /// never re-propose them; they are re-queued at apply time if the slot
+    /// decides something else.
+    fn input_for_slot(&mut self, slot: u64) -> Value {
+        let mut cmds: Vec<Value> = Vec::new();
+        // The cursor advances only on a real drain: an idle proposal for an
+        // out-of-order (e.g. adversarially sprayed in-window) slot must not
+        // bar nearer slots from proposing queued commands.
+        if slot >= self.propose_cursor && !self.pending.is_empty() {
+            let take = self.batch_size.min(self.pending.len());
+            cmds.extend(self.pending.drain(..take));
+            self.propose_cursor = slot + 1;
+            self.in_flight.insert(slot, cmds.clone());
+        }
         if cmds.is_empty() {
             cmds.push(self.idle_input.clone());
         }
@@ -160,16 +232,18 @@ impl<S: StateMachine> SmrNode<S> {
     }
 
     fn open_slot(&mut self, slot: u64, fx: &mut Effects<SlotMessage>) {
-        if self.slots.contains_key(&slot) || self.decided.contains_key(&slot) {
+        if slot < self.applied || self.slots.contains_key(&slot) || self.decided.contains_key(&slot)
+        {
             return;
         }
+        let input = self.input_for_slot(slot);
         // Rotate first-leadership across slots so every process's commands
         // get committed without waiting for a view change (fairness).
         let mut replica = Replica::with_options(
             self.cfg.with_leader_offset(slot),
             self.keys.clone(),
             self.dir.clone(),
-            self.input_for_slot(slot),
+            input,
             self.opts.clone(),
         );
         let mut inner = Effects::new(fx.id(), fx.n(), fx.now());
@@ -178,6 +252,7 @@ impl<S: StateMachine> SmrNode<S> {
         self.relay_inner(slot, inner, fx);
         // Replay anything that arrived before the slot opened.
         if let Some(stash) = self.stashed.remove(&slot) {
+            self.stashed_total -= stash.len();
             for (from, msg) in stash {
                 self.deliver(slot, from, msg, fx);
             }
@@ -211,26 +286,69 @@ impl<S: StateMachine> SmrNode<S> {
         }
     }
 
+    /// The at-most-once identity of a command: its content digest.
+    fn command_key(cmd: &Value) -> fastbft_crypto::Digest {
+        fastbft_crypto::digest(cmd.as_bytes())
+    }
+
+    /// Applies one decided command: at-most-once by identity for client
+    /// commands (the idle filler is exempt — it recurs by design), removing
+    /// committed commands from the local queue wherever they sit.
+    fn apply_command(&mut self, cmd: Value, fx: &mut Effects<SlotMessage>) {
+        if cmd != self.idle_input {
+            if !self.applied_cmds.insert(Self::command_key(&cmd)) {
+                return; // already executed in an earlier slot
+            }
+            if let Some(pos) = self.pending.iter().position(|p| *p == cmd) {
+                self.pending.remove(pos);
+            }
+        }
+        self.machine.apply(&cmd);
+        fx.record_applied(self.log.len() as u64, &cmd);
+        self.log.push(cmd);
+    }
+
     fn on_slot_decided(&mut self, slot: u64, value: Value, fx: &mut Effects<SlotMessage>) {
-        if self.decided.contains_key(&slot) {
+        if slot < self.applied || self.decided.contains_key(&slot) {
             return;
         }
         self.decided.insert(slot, value);
         // Apply every now-contiguous decided slot in order, one command at
         // a time (a slot carries a batch).
-        while let Some(value) = self.decided.get(&self.applied).cloned() {
+        while let Some(value) = self.decided.remove(&self.applied) {
+            let slot = self.applied;
             for cmd in Self::decode_batch(&value) {
-                self.machine.apply(&cmd);
-                self.log.push(cmd.clone());
-                if self.pending.front() == Some(&cmd) {
-                    self.pending.pop_front();
+                self.apply_command(cmd, fx);
+            }
+            // Commands this node drained into the slot that the decided
+            // value did not commit (another proposal won, or an earlier
+            // slot already executed them) go back to the queue front.
+            if let Some(mine) = self.in_flight.remove(&slot) {
+                for cmd in mine.into_iter().rev() {
+                    if !self.applied_cmds.contains(&Self::command_key(&cmd)) {
+                        self.pending.push_front(cmd);
+                    }
                 }
             }
-            self.slots.remove(&self.applied);
+            self.slots.remove(&slot);
             self.applied += 1;
         }
-        // Keep the pipeline going.
-        self.open_slot(self.applied, fx);
+        // Keep the pipeline going while there is work; quiesce when idle
+        // (a client submission re-opens the pipeline via `on_client`).
+        if !self.pending.is_empty() || !self.in_flight.is_empty() {
+            self.open_slot(self.applied, fx);
+        }
+        // Purge stash buckets the apply loop has overtaken: their slots are
+        // settled, the messages can never be delivered, and dead entries
+        // must not pin the stash cap (they are the *nearest* slots, which
+        // farthest-first eviction would never reclaim).
+        while let Some((&stale, _)) = self.stashed.iter().next() {
+            if stale >= self.applied {
+                break;
+            }
+            let bucket = self.stashed.remove(&stale).expect("key just read");
+            self.stashed_total -= bucket.len();
+        }
         // The window may have moved: drain newly eligible stashes.
         let eligible: Vec<u64> = self
             .stashed
@@ -242,6 +360,31 @@ impl<S: StateMachine> SmrNode<S> {
             self.open_slot(s, fx);
         }
     }
+
+    /// Buffers a beyond-window message, enforcing both stash bounds.
+    fn stash(&mut self, slot: u64, from: ProcessId, msg: Message) {
+        if slot >= self.applied + MAX_STASH_AHEAD {
+            return; // hostile or hopeless: nobody correct is this far ahead
+        }
+        while self.stashed_total >= MAX_STASHED_MESSAGES {
+            // Evict from the farthest slot; if the newcomer *is* the
+            // farthest, drop it instead.
+            let Some((&farthest, _)) = self.stashed.iter().next_back() else {
+                break;
+            };
+            if farthest <= slot {
+                return;
+            }
+            let bucket = self.stashed.get_mut(&farthest).expect("key just read");
+            bucket.pop();
+            self.stashed_total -= 1;
+            if bucket.is_empty() {
+                self.stashed.remove(&farthest);
+            }
+        }
+        self.stashed.entry(slot).or_default().push((from, msg));
+        self.stashed_total += 1;
+    }
 }
 
 impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
@@ -251,14 +394,14 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
 
     fn on_message(&mut self, from: ProcessId, msg: SlotMessage, fx: &mut Effects<SlotMessage>) {
         let SlotMessage { slot, inner } = msg;
-        if self.decided.contains_key(&slot) && !self.slots.contains_key(&slot) {
+        if slot < self.applied {
             return; // already settled and cleaned up
         }
-        if !self.slots.contains_key(&slot) {
+        if !self.slots.contains_key(&slot) && !self.decided.contains_key(&slot) {
             if slot < self.applied + SLOT_WINDOW {
                 self.open_slot(slot, fx);
             } else {
-                self.stashed.entry(slot).or_default().push((from, inner));
+                self.stash(slot, from, inner);
                 return;
             }
         }
@@ -274,6 +417,12 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
         let mut inner = Effects::new(fx.id(), fx.n(), fx.now());
         replica.on_timer(inner_timer, &mut inner);
         self.relay_inner(slot, inner, fx);
+    }
+
+    fn on_client(&mut self, command: Value, fx: &mut Effects<SlotMessage>) {
+        self.pending.push_back(command);
+        // Wake the pipeline if it had quiesced; a no-op while it runs.
+        self.open_slot(self.applied, fx);
     }
 
     fn label(&self) -> &'static str {

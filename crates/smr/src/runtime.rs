@@ -1,0 +1,225 @@
+//! The replicated state machine on the wall-clock runtime.
+//!
+//! [`SmrSimCluster`](crate::harness::SmrSimCluster) runs SMR under the
+//! discrete-event simulator; this module runs the *same* [`SmrNode`]
+//! actors on `fastbft_runtime`'s thread-per-replica engine, over any
+//! [`Transport`](fastbft_runtime::Transport) — in-process channels or
+//! `fastbft-net`'s authenticated TCP. Three things make that a real system
+//! rather than a simulation:
+//!
+//! * commands are submitted to the **running** cluster
+//!   ([`SmrClusterHandle::submit`] → every node's
+//!   [`on_client`](fastbft_sim::Actor::on_client));
+//! * every applied command streams back out as an
+//!   [`Applied`](fastbft_runtime::Applied) event (per-slot event stream,
+//!   not a one-shot decision), from which the handle reconstructs each
+//!   replica's log;
+//! * the cross-replica consistency check
+//!   ([`SmrClusterHandle::logs_agree`]) reuses the harness's
+//!   [`logs_consistent`] condition.
+//!
+//! ```
+//! use std::time::Duration;
+//! use fastbft_core::replica::ReplicaOptions;
+//! use fastbft_crypto::KeyDirectory;
+//! use fastbft_smr::runtime::SmrClusterHandle;
+//! use fastbft_smr::{KvCommand, KvStore};
+//! use fastbft_types::{Config, ProcessId};
+//!
+//! let cfg = Config::new(4, 1, 1)?;
+//! let mut cluster = SmrClusterHandle::spawn_channel(
+//!     cfg, 7, KvStore::new(), KvCommand::Noop.to_value(),
+//!     ReplicaOptions::default(), 1, Duration::from_micros(50),
+//! );
+//! cluster.submit(KvCommand::Put { key: "x".into(), value: "1".into() }.to_value());
+//! assert!(cluster.await_commands(cfg.processes(), 1, Duration::from_secs(10)));
+//! assert!(cluster.logs_agree());
+//! cluster.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::time::{Duration, Instant};
+
+use fastbft_core::replica::ReplicaOptions;
+use fastbft_crypto::{KeyDirectory, KeyPair};
+use fastbft_runtime::{spawn, ClusterHandle};
+use fastbft_sim::Actor;
+use fastbft_types::{Config, ProcessId, Value};
+
+use crate::harness::logs_consistent;
+use crate::machine::StateMachine;
+use crate::multiplex::{SlotMessage, SmrNode};
+
+/// Builds one boxed [`SmrNode`] actor per process, ready for
+/// [`fastbft_runtime::spawn`] / `spawn_with` (or `fastbft-net`'s TCP
+/// seats). `commands[i]` preloads process `i+1`'s client queue; submit to a
+/// running cluster via [`SmrClusterHandle::submit`].
+#[allow(clippy::too_many_arguments)]
+pub fn smr_actors<S: StateMachine + Clone + Send + 'static>(
+    cfg: Config,
+    pairs: &[KeyPair],
+    dir: &KeyDirectory,
+    machine: S,
+    commands: Vec<Vec<Value>>,
+    idle_input: Value,
+    opts: ReplicaOptions,
+    batch_size: usize,
+) -> Vec<Box<dyn Actor<SlotMessage> + Send>> {
+    assert_eq!(pairs.len(), cfg.n(), "one key pair per process");
+    assert_eq!(commands.len(), cfg.n(), "one command queue per process");
+    pairs
+        .iter()
+        .zip(commands)
+        .map(|(pair, cmds)| -> Box<dyn Actor<SlotMessage> + Send> {
+            Box::new(
+                SmrNode::new(
+                    cfg,
+                    pair.clone(),
+                    dir.clone(),
+                    machine.clone(),
+                    cmds,
+                    idle_input.clone(),
+                )
+                .with_options(opts.clone())
+                .with_batch_size(batch_size),
+            )
+        })
+        .collect()
+}
+
+/// Downcasts a shut-down cluster actor back to its [`SmrNode`] for final
+/// state inspection (log, state machine). `None` if the seat held
+/// something else — e.g. a scripted Byzantine actor.
+pub fn as_smr_node<S: StateMachine + 'static>(
+    actor: &dyn Actor<SlotMessage>,
+) -> Option<&SmrNode<S>> {
+    actor.as_any()?.downcast_ref()
+}
+
+/// Handle to a replicated state machine running on the thread runtime,
+/// over any transport. Wraps the generic [`ClusterHandle`], consuming its
+/// applied-event stream into per-replica logs.
+pub struct SmrClusterHandle {
+    inner: ClusterHandle<SlotMessage>,
+    idle: Value,
+    logs: Vec<Vec<Value>>,
+}
+
+impl SmrClusterHandle {
+    /// Wraps an already-spawned cluster of `n` [`SmrNode`] actors.
+    /// `idle` must be the nodes' idle filler (it is exempt from command
+    /// counting). This is the entry point for non-channel transports:
+    /// build seats (e.g. `fastbft_net::tcp_seats`), `spawn_with` them, and
+    /// hand the result here.
+    pub fn new(inner: ClusterHandle<SlotMessage>, n: usize, idle: Value) -> Self {
+        SmrClusterHandle {
+            inner,
+            idle,
+            logs: vec![Vec::new(); n],
+        }
+    }
+
+    /// Spawns an SMR cluster over the in-process channel transport with
+    /// empty client queues; submit commands with
+    /// [`submit`](SmrClusterHandle::submit).
+    pub fn spawn_channel<S: StateMachine + Clone + Send + 'static>(
+        cfg: Config,
+        seed: u64,
+        machine: S,
+        idle_input: Value,
+        opts: ReplicaOptions,
+        batch_size: usize,
+        tick: Duration,
+    ) -> Self {
+        let (pairs, dir) = KeyDirectory::generate(cfg.n(), seed);
+        let actors = smr_actors(
+            cfg,
+            &pairs,
+            &dir,
+            machine,
+            vec![Vec::new(); cfg.n()],
+            idle_input.clone(),
+            opts,
+            batch_size,
+        );
+        SmrClusterHandle::new(spawn(actors, tick), cfg.n(), idle_input)
+    }
+
+    /// Submits a client command to every replica of the running cluster —
+    /// the paper's §1.1 client model. Whichever node leads the next slot
+    /// proposes it; identity dedup keeps execution at-most-once. Commands
+    /// are identified by their bytes: a client that wants the same logical
+    /// operation executed twice must make the encodings distinct (e.g. tag
+    /// a client id and sequence number).
+    pub fn submit(&self, command: Value) {
+        self.inner.submit_all(command);
+    }
+
+    /// The wrapped transport-generic handle (injection hooks, decision
+    /// stream, per-node submission).
+    pub fn inner(&self) -> &ClusterHandle<SlotMessage> {
+        &self.inner
+    }
+
+    /// Waits until each process in `processes` has applied at least `k`
+    /// client commands (idle filler excluded), consuming applied events
+    /// into the per-replica logs. Returns `false` on timeout. Restrict
+    /// `processes` to the correct replicas when some seats are Byzantine.
+    pub fn await_commands(
+        &mut self,
+        processes: impl IntoIterator<Item = ProcessId>,
+        k: u64,
+        timeout: Duration,
+    ) -> bool {
+        let watched: Vec<ProcessId> = processes.into_iter().collect();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let done = watched.iter().all(|p| {
+                self.logs[p.index()]
+                    .iter()
+                    .filter(|c| **c != self.idle)
+                    .count() as u64
+                    >= k
+            });
+            if done {
+                return true;
+            }
+            let wait = deadline.saturating_duration_since(Instant::now());
+            if wait.is_zero() {
+                return false;
+            }
+            match self.inner.applied_events().recv_timeout(wait) {
+                Ok(event) => {
+                    let log = &mut self.logs[event.process.index()];
+                    // Events from one node arrive in log order; tolerate
+                    // (skip) duplicates defensively rather than panicking
+                    // on a misbehaving seat.
+                    if event.index == log.len() as u64 {
+                        log.push(event.command);
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// The per-replica logs reconstructed from the applied-event stream so
+    /// far (grows as [`await_commands`](SmrClusterHandle::await_commands)
+    /// consumes events).
+    pub fn logs(&self) -> &[Vec<Value>] {
+        &self.logs
+    }
+
+    /// Whether the reconstructed logs satisfy the SMR safety condition
+    /// (identical pairwise common prefixes) — the same check the simulated
+    /// harness applies, via [`logs_consistent`].
+    pub fn logs_agree(&self) -> bool {
+        logs_consistent(&self.logs)
+    }
+
+    /// Stops the cluster and hands back the actors in seat order; downcast
+    /// with [`as_smr_node`] to inspect final logs and machine state.
+    pub fn shutdown(self) -> Vec<Box<dyn Actor<SlotMessage> + Send>> {
+        self.inner.shutdown()
+    }
+}

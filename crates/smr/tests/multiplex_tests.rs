@@ -1,13 +1,18 @@
 //! Unit-level tests for the slot multiplexer: window stashing, timer
 //! namespacing, rotation and pipelining behavior.
 
+use fastbft_core::message::{AckMsg, Message, WishMsg};
 use fastbft_core::replica::ReplicaOptions;
-use fastbft_sim::SimTime;
-use fastbft_smr::{CountingMachine, KvCommand, KvStore, SmrSimCluster};
-use fastbft_types::{Config, ProcessId, Value};
+use fastbft_crypto::KeyDirectory;
+use fastbft_sim::{Actor, Effects, SimTime};
+use fastbft_smr::{CountingMachine, KvCommand, KvStore, SlotMessage, SmrNode, SmrSimCluster};
+use fastbft_types::{Config, ProcessId, Value, View};
 
 #[test]
-fn empty_queues_commit_noops_forever() {
+fn empty_queues_quiesce_after_slot_zero() {
+    // With nothing to commit, the pipeline settles instead of burning
+    // slots on filler forever: slot 0 (opened unconditionally at start)
+    // decides the idle no-op, and no further slot opens.
     let cfg = Config::new(4, 1, 1).unwrap();
     let mut cluster = SmrSimCluster::new(
         cfg,
@@ -18,12 +23,14 @@ fn empty_queues_commit_noops_forever() {
         ReplicaOptions::default(),
     );
     let report = cluster.run_until_applied(25, SimTime(5_000_000));
-    assert!(report.applied_everywhere >= 25);
+    assert_eq!(report.applied_everywhere, 1, "{report:?}");
     assert!(report.logs_consistent);
-    // Everything committed was the idle no-op.
+    // Everything committed was the idle no-op, and the run went quiet long
+    // before the horizon.
     for v in cluster.log(ProcessId(2)) {
         assert_eq!(v.as_u64(), Some(0));
     }
+    assert!(report.final_time < SimTime(5_000_000), "{report:?}");
 }
 
 #[test]
@@ -78,6 +85,9 @@ fn slot_zero_leader_is_paper_leader() {
 #[test]
 fn kv_delete_of_missing_key_is_consistent() {
     let cfg = Config::new(4, 1, 1).unwrap();
+    // Commands are identified by their bytes, so a byte-identical duplicate
+    // submission (the second `Delete { a }`) is executed at most once; the
+    // four *distinct* commands each commit exactly once.
     let queue = vec![
         KvCommand::Delete {
             key: "ghost".into(),
@@ -90,17 +100,21 @@ fn kv_delete_of_missing_key_is_consistent() {
         .to_value(),
         KvCommand::Delete { key: "a".into() }.to_value(),
         KvCommand::Delete { key: "a".into() }.to_value(),
+        KvCommand::Delete {
+            key: "ghost2".into(),
+        }
+        .to_value(),
     ];
     let mut cluster = SmrSimCluster::new(
         cfg,
         6,
         KvStore::new(),
-        vec![queue; 4],
+        vec![queue.clone(); 4],
         KvCommand::Noop.to_value(),
         ReplicaOptions::default(),
     );
-    let report = cluster.run_until_applied(4, SimTime(5_000_000));
-    assert!(report.applied_everywhere >= 4);
+    let report = cluster.run_until_commands(4, SimTime(5_000_000));
+    assert!(report.commands_everywhere >= 4, "{report:?}");
     assert!(report.logs_consistent);
     for p in cfg.processes() {
         assert!(cluster.machine(p).is_empty(), "store at {p} not empty");
@@ -108,7 +122,71 @@ fn kv_delete_of_missing_key_is_consistent() {
             cluster.machine(p).state_digest(),
             cluster.machine(ProcessId(1)).state_digest()
         );
+        // At-most-once: no command (including the duplicated delete)
+        // appears twice in any log.
+        let log = cluster.log(p);
+        for cmd in &queue {
+            assert!(
+                log.iter().filter(|v| *v == cmd).count() <= 1,
+                "{p} applied {cmd:?} more than once"
+            );
+        }
     }
+}
+
+#[test]
+fn slot_messages_roundtrip_on_the_wire() {
+    // The slot tag + canonical inner encoding is what `fastbft-net` frames
+    // carry for the runtime SMR cluster.
+    fastbft_types::wire::roundtrip(&SlotMessage {
+        slot: 9,
+        inner: Message::Wish(WishMsg { view: View::FIRST }),
+    });
+    fastbft_types::wire::roundtrip(&SlotMessage {
+        slot: u64::MAX,
+        inner: Message::Ack(AckMsg {
+            value: Value::from_u64(77),
+            view: View::FIRST,
+        }),
+    });
+}
+
+/// A Byzantine peer spraying messages for arbitrarily distant slots must
+/// not grow the stash without bound (pre-fix, every sprayed message was
+/// buffered forever).
+#[test]
+fn stash_is_bounded_against_slot_spray() {
+    let cfg = Config::new(4, 1, 1).unwrap();
+    let (pairs, dir) = KeyDirectory::generate(4, 21);
+    let mut node = SmrNode::new(
+        cfg,
+        pairs[0].clone(),
+        dir,
+        CountingMachine::new(),
+        Vec::new(),
+        Value::from_u64(0),
+    );
+    let mut fx = Effects::new(ProcessId(1), 4, SimTime::ZERO);
+    node.on_start(&mut fx);
+    let spray = |slot: u64| SlotMessage {
+        slot,
+        inner: Message::Wish(WishMsg { view: View::FIRST }),
+    };
+    // Absurdly distant slots: dropped outright, no memory consumed.
+    for i in 0..10_000u64 {
+        node.on_message(ProcessId(2), spray(1_000_000 + i), &mut fx);
+    }
+    assert_eq!(node.stashed_messages(), 0, "hopeless slots must be dropped");
+    // Just-beyond-window slots: buffered, but only up to the cap.
+    for i in 0..50_000u64 {
+        node.on_message(ProcessId(2), spray(100 + (i % 150)), &mut fx);
+    }
+    let cap = node.stashed_messages();
+    assert!(cap <= 4096, "stash exceeded its bound: {cap}");
+    // A full stash still admits *nearer* slots by evicting farther ones —
+    // the nearest slots are what unblocks a lagging pipeline.
+    node.on_message(ProcessId(2), spray(70), &mut fx);
+    assert!(node.stashed_messages() <= 4096);
 }
 
 #[test]

@@ -50,9 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             key: "erin".into(),
             value: "7".into(),
         },
-        KvCommand::Get {
-            key: "alice".into(),
-        },
+        // Note: commands are identified by their bytes and execute at most
+        // once, so this read targets a different key than the earlier Get
+        // (a client re-reading "alice" would tag the command with its own
+        // id + sequence number to make the bytes distinct).
+        KvCommand::Get { key: "erin".into() },
     ];
     // The client broadcasts every command to all replicas.
     let queue: Vec<_> = workload.iter().map(KvCommand::to_value).collect();
@@ -66,14 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         KvCommand::Noop.to_value(),
         ReplicaOptions::default(),
     );
-    let report = cluster.run_until_applied(workload.len() as u64, SimTime(1_000_000));
+    let report = cluster.run_until_commands(workload.len() as u64, SimTime(1_000_000));
 
     println!(
-        "applied {} slots everywhere in {} (≈ {:.2} slots per Δ)",
-        report.applied_everywhere, report.final_time, report.slots_per_delta
+        "applied {} commands everywhere in {} (≈ {:.2} commands per Δ)",
+        report.commands_everywhere, report.final_time, report.commands_per_delta
     );
     assert!(report.logs_consistent, "replica logs diverged!");
-    assert!(report.applied_everywhere >= workload.len() as u64);
+    assert!(report.commands_everywhere >= workload.len() as u64);
 
     // Every replica holds the same state.
     let reference = cluster.machine(fastbft::types::ProcessId(1)).clone();

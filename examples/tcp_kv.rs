@@ -1,0 +1,107 @@
+//! A replicated key-value store over real loopback TCP sockets.
+//!
+//! Four replicas run the slot-multiplexed state machine (`fastbft::smr`)
+//! on the thread runtime, talking through `fastbft::net`'s authenticated
+//! frames. A client submits commands to the *running* cluster; every
+//! applied command streams back as a per-slot event, and the final stores
+//! are checked byte-identical across replicas. Run with:
+//!
+//! ```bash
+//! cargo run --release --example tcp_kv
+//! ```
+
+use std::time::{Duration, Instant};
+
+use fastbft::core::replica::ReplicaOptions;
+use fastbft::crypto::KeyDirectory;
+use fastbft::net::tcp_seats;
+use fastbft::runtime::spawn_with;
+use fastbft::smr::runtime::{as_smr_node, smr_actors, SmrClusterHandle};
+use fastbft::smr::{KvCommand, KvStore};
+use fastbft::types::Config;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's headline configuration: n = 3f + 2t − 1 = 4.
+    let cfg = Config::new(4, 1, 1)?;
+    let (pairs, dir) = KeyDirectory::generate(cfg.n(), 2027);
+    let idle = KvCommand::Noop.to_value();
+    let actors = smr_actors(
+        cfg,
+        &pairs,
+        &dir,
+        KvStore::new(),
+        vec![Vec::new(); cfg.n()],
+        idle.clone(),
+        ReplicaOptions::default(),
+        4, // batch up to four commands per slot
+    );
+    let (seats, addrs) = tcp_seats(actors, pairs, dir, Default::default())?;
+    let mut cluster =
+        SmrClusterHandle::new(spawn_with(seats, Duration::from_micros(50)), cfg.n(), idle);
+    println!("replicated KV store, n = 4, f = t = 1, listening on:");
+    for (i, addr) in addrs.iter().enumerate() {
+        println!("  p{} @ {addr}", i + 1);
+    }
+
+    // Submit a workload to the RUNNING cluster: puts, an overwrite and a
+    // delete, each broadcast to all replicas (the §1.1 client model).
+    let start = Instant::now();
+    let mut submitted = 0u64;
+    for i in 0..16 {
+        cluster.submit(
+            KvCommand::Put {
+                key: format!("user:{i}"),
+                value: format!("balance={}", 100 * i),
+            }
+            .to_value(),
+        );
+        submitted += 1;
+    }
+    cluster.submit(
+        KvCommand::Put {
+            key: "user:3".into(),
+            value: "balance=0".into(),
+        }
+        .to_value(),
+    );
+    cluster.submit(
+        KvCommand::Delete {
+            key: "user:7".into(),
+        }
+        .to_value(),
+    );
+    submitted += 2;
+
+    if !cluster.await_commands(cfg.processes(), submitted, Duration::from_secs(30)) {
+        return Err("cluster did not apply the workload in time".into());
+    }
+    let elapsed = start.elapsed();
+    assert!(cluster.logs_agree(), "log divergence across replicas");
+
+    let actors = cluster.shutdown();
+    let mut digests = Vec::new();
+    for (i, actor) in actors.iter().enumerate() {
+        let node = as_smr_node::<KvStore>(actor.as_ref()).expect("SMR seat");
+        let store = node.machine();
+        assert_eq!(store.len(), 15, "p{}: 16 puts − 1 delete = 15 keys", i + 1);
+        assert_eq!(store.get("user:3"), Some(&"balance=0".to_string()));
+        assert_eq!(store.get("user:7"), None);
+        digests.push(store.state_digest());
+        println!(
+            "  p{}: {} keys, {} commands applied, digest {:?}",
+            i + 1,
+            store.len(),
+            node.commands_applied(),
+            store.state_digest(),
+        );
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "replica state diverged"
+    );
+    println!(
+        "\n{submitted} commands replicated over authenticated loopback TCP in {elapsed:?} — \
+         identical state on all 4 replicas ✓"
+    );
+    Ok(())
+}

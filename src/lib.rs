@@ -14,7 +14,9 @@
 //! * [`core`] — the paper's protocol (fast path, slow path, view change
 //!   with bounded progress certificates, view synchronizer);
 //! * [`baselines`] — PBFT-style three-step and FaB Paxos two-step protocols;
-//! * [`smr`] — a replicated state machine / KV store built on consensus;
+//! * [`smr`] — a replicated state machine / KV store built on consensus,
+//!   runnable under the simulator or on the wall-clock runtime (over
+//!   channels or TCP) with live client submission;
 //! * [`runtime`] — a thread-per-replica real-time runtime over a pluggable
 //!   transport;
 //! * [`net`] — the TCP transport: authenticated frames over real sockets.

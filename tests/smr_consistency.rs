@@ -45,16 +45,17 @@ fn logs_identical_across_replicas() {
 #[test]
 fn generalized_config_smr() {
     let cfg = Config::new(8, 2, 1).unwrap();
+    let workload: Vec<Value> = (0..8).map(Value::from_u64).collect();
     let mut cluster = SmrSimCluster::new(
         cfg,
         3,
         CountingMachine::new(),
-        vec![Vec::new(); 8],
-        Value::from_u64(0),
+        vec![workload; 8],
+        Value::from_u64(u64::MAX),
         ReplicaOptions::default(),
     );
-    let report = cluster.run_until_applied(8, SimTime(10_000_000));
-    assert!(report.applied_everywhere >= 8);
+    let report = cluster.run_until_commands(8, SimTime(10_000_000));
+    assert!(report.commands_everywhere >= 8, "{report:?}");
     assert!(report.logs_consistent);
 }
 
@@ -81,6 +82,10 @@ proptest! {
             })
             .collect();
         let commands = vec![workload.clone(); 4];
+        // Commands are identified by their bytes and execute at most once,
+        // so a workload with byte-identical repeats commits each distinct
+        // command exactly once.
+        let distinct: std::collections::BTreeSet<&Value> = workload.iter().collect();
         let mut cluster = SmrSimCluster::new(
             cfg,
             seed,
@@ -89,12 +94,25 @@ proptest! {
             KvCommand::Noop.to_value(),
             ReplicaOptions::default(),
         );
-        let report = cluster.run_until_applied(workload.len() as u64, SimTime(10_000_000));
-        prop_assert!(report.applied_everywhere >= workload.len() as u64);
+        let report = cluster.run_until_commands(distinct.len() as u64, SimTime(10_000_000));
+        prop_assert!(
+            report.commands_everywhere >= distinct.len() as u64,
+            "{report:?}"
+        );
         prop_assert!(report.logs_consistent);
         let reference = cluster.machine(ProcessId(1)).state_digest();
         for p in cfg.processes() {
             prop_assert_eq!(cluster.machine(p).state_digest(), reference);
+            let log = cluster.log(p);
+            for cmd in &distinct {
+                prop_assert_eq!(
+                    log.iter().filter(|v| v == cmd).count(),
+                    1,
+                    "{} must apply {:?} exactly once",
+                    p,
+                    cmd
+                );
+            }
         }
     }
 }
