@@ -671,12 +671,12 @@ mod tests {
         assert_eq!(r.view(), View::FIRST);
         assert_eq!(r.decided(), None);
         // A propose went to every process (broadcast includes self).
-        let proposes: Vec<_> = buf
+        let proposes = buf
             .sent()
             .iter()
             .filter(|(_, m)| matches!(m, Message::Propose(_)))
-            .collect();
-        assert_eq!(proposes.len(), 4);
+            .count();
+        assert_eq!(proposes, 4);
         // Non-leaders send nothing at start.
         let mut r2 = replica(&cfg, &pairs, &dir, 0, 1); // p1 ≠ leader(1)
         let mut buf2 = fx(1, 4);

@@ -85,15 +85,15 @@ fn leader_certification_roundtrip() {
     r.on_message(ProcessId(4), nil_vote(&pairs, 3, View(2)), &mut buf);
 
     // CertRequests went out to 2f + 1 = 3 non-self processes.
-    let cert_reqs: Vec<&ProcessId> = buf
-        .sent()
+    let sent = buf.sent();
+    let cert_reqs: Vec<ProcessId> = sent
         .iter()
         .filter(|(_, m)| matches!(m, Message::CertRequest(_)))
-        .map(|(to, _)| to)
+        .map(|(to, _)| *to)
         .collect();
     assert_eq!(cert_reqs.len(), 3);
     assert!(
-        !cert_reqs.contains(&&ProcessId(3)),
+        !cert_reqs.contains(&ProcessId(3)),
         "no self request (self-certified)"
     );
 
@@ -137,8 +137,8 @@ fn leader_certification_roundtrip() {
         }),
         &mut buf4,
     );
-    let proposes: Vec<&Message> = buf4
-        .sent()
+    let sent4 = buf4.sent();
+    let proposes: Vec<&Message> = sent4
         .iter()
         .map(|(_, m)| m)
         .filter(|m| matches!(m, Message::Propose(_)))

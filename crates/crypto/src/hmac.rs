@@ -18,24 +18,65 @@ const OPAD: u8 = 0x5c;
 /// assert_ne!(tag, hmac_sha256(b"other key", b"message"));
 /// ```
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
-    let mut key_block = [0u8; BLOCK_SIZE];
-    if key.len() > BLOCK_SIZE {
-        key_block[..32].copy_from_slice(&Sha256::digest(key));
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
+    HmacEngine::new(key).mac(message)
+}
+
+/// A key's precomputed HMAC-SHA256 state.
+///
+/// The first compression of both HMAC passes — over `key ⊕ ipad` and
+/// `key ⊕ opad` — depends only on the key, so it is done **once** here and
+/// cloned per MAC. For the short preimages this workspace signs (frame
+/// MACs, protocol signatures) that halves the compressions per tag and
+/// removes every per-call allocation; the hot senders ([`KeyPair`],
+/// [`KeyDirectory`]) each hold one engine per key.
+///
+/// [`KeyPair`]: crate::KeyPair
+/// [`KeyDirectory`]: crate::KeyDirectory
+#[derive(Clone)]
+pub struct HmacEngine {
+    inner0: Sha256,
+    outer0: Sha256,
+}
+
+impl core::fmt::Debug for HmacEngine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The keyed midstates are key-equivalent secrets: never print them.
+        f.write_str("HmacEngine(…)")
+    }
+}
+
+impl HmacEngine {
+    /// Precomputes the keyed midstates for `key` (keys longer than the
+    /// 64-byte block size are first hashed, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_SIZE];
+        if key.len() > BLOCK_SIZE {
+            key_block[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_SIZE];
+        let mut opad = [0u8; BLOCK_SIZE];
+        for (i, b) in key_block.iter().enumerate() {
+            ipad[i] = b ^ IPAD;
+            opad[i] = b ^ OPAD;
+        }
+        let mut inner0 = Sha256::new();
+        inner0.update(&ipad);
+        let mut outer0 = Sha256::new();
+        outer0.update(&opad);
+        HmacEngine { inner0, outer0 }
     }
 
-    let mut inner = Sha256::new();
-    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ IPAD).collect();
-    inner.update(&ipad);
-    inner.update(message);
-    let inner_digest = inner.finalize();
-
-    let mut outer = Sha256::new();
-    let opad: Vec<u8> = key_block.iter().map(|b| b ^ OPAD).collect();
-    outer.update(&opad);
-    outer.update(&inner_digest);
-    outer.finalize()
+    /// Computes `HMAC-SHA256(key, message)` from the precomputed midstates.
+    pub fn mac(&self, message: &[u8]) -> Digest {
+        let mut inner = self.inner0.clone();
+        inner.update(message);
+        let inner_digest = inner.finalize();
+        let mut outer = self.outer0.clone();
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
 }
 
 /// Constant-time equality for digests.

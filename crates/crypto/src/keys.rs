@@ -8,7 +8,7 @@ use fastbft_types::ProcessId;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-use crate::hmac::{digest_eq, hmac_sha256};
+use crate::hmac::{digest_eq, HmacEngine};
 use crate::Digest;
 
 /// A process's secret signing key (32 random bytes).
@@ -85,11 +85,13 @@ impl Decode for Signature {
     }
 }
 
-/// A process's signing identity: its id plus its secret key.
+/// A process's signing identity: its id plus its secret key (with the
+/// key's HMAC midstates precomputed — signing is on the per-frame hot
+/// path).
 #[derive(Clone, Debug)]
 pub struct KeyPair {
     id: ProcessId,
-    secret: SecretKey,
+    engine: HmacEngine,
 }
 
 impl KeyPair {
@@ -103,7 +105,7 @@ impl KeyPair {
     pub fn sign(&self, message: &[u8]) -> Signature {
         Signature {
             signer: self.id,
-            tag: hmac_sha256(&self.secret.0, message),
+            tag: self.engine.mac(message),
         }
     }
 }
@@ -119,7 +121,7 @@ impl KeyPair {
 /// checker and test can hold one.
 #[derive(Clone, Debug)]
 pub struct KeyDirectory {
-    keys: Arc<Vec<SecretKey>>,
+    engines: Arc<Vec<HmacEngine>>,
 }
 
 impl KeyDirectory {
@@ -130,43 +132,44 @@ impl KeyDirectory {
     pub fn generate(n: usize, seed: u64) -> (Vec<KeyPair>, KeyDirectory) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_4b45_59a5_a5a5);
         let keys: Vec<SecretKey> = (0..n).map(|_| SecretKey::generate(&mut rng)).collect();
-        let pairs = keys
+        let engines: Vec<HmacEngine> = keys.iter().map(|k| HmacEngine::new(&k.0)).collect();
+        let pairs = engines
             .iter()
             .enumerate()
-            .map(|(i, k)| KeyPair {
+            .map(|(i, engine)| KeyPair {
                 id: ProcessId::from_index(i),
-                secret: k.clone(),
+                engine: engine.clone(),
             })
             .collect();
         (
             pairs,
             KeyDirectory {
-                keys: Arc::new(keys),
+                engines: Arc::new(engines),
             },
         )
     }
 
     /// Number of processes the directory knows about.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.engines.len()
     }
 
     /// Whether the directory is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.engines.is_empty()
     }
 
     /// Verifies that `sig` is a valid signature by `sig.signer` over
     /// `message`. Unknown signers verify as `false`.
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
-        let Some(key) = self
-            .keys
+        let Some(engine) = self
+            .engines
             .get(sig.signer.0.wrapping_sub(1) as usize)
             .filter(|_| sig.signer.0 >= 1)
         else {
             return false;
         };
-        digest_eq(&hmac_sha256(&key.0, message), &sig.tag)
+        digest_eq(&engine.mac(message), &sig.tag)
     }
 
     /// Verifies a batch, returning `true` only if *all* signatures are valid
@@ -256,8 +259,14 @@ mod tests {
 
     #[test]
     fn debug_never_leaks_key_material() {
-        let (pairs, _) = KeyDirectory::generate(1, 1);
+        let (pairs, dir) = KeyDirectory::generate(1, 1);
+        // The keyed HMAC midstates are key-equivalent: both the pair and
+        // the directory must redact them.
         let dbg = format!("{:?}", pairs[0]);
-        assert!(dbg.contains("SecretKey(…)"));
+        assert!(dbg.contains("HmacEngine(…)"), "{dbg}");
+        let dbg = format!("{dir:?}");
+        assert!(dbg.contains("HmacEngine(…)"), "{dbg}");
+        let dbg = format!("{:?}", SecretKey::generate(&mut StdRng::seed_from_u64(1)));
+        assert!(dbg.contains("SecretKey(…)"), "{dbg}");
     }
 }

@@ -75,12 +75,19 @@ impl HelloRole {
 /// an explicit payload length, all behind a domain prefix.
 pub fn frame_preimage(session: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(FRAME_DOMAIN.len() + 8 + 8 + 8 + payload.len());
+    frame_preimage_into(&mut buf, session, seq, payload);
+    buf
+}
+
+/// [`frame_preimage`] into a caller-owned scratch buffer (cleared first) —
+/// the allocation-free form the per-frame hot path uses.
+pub fn frame_preimage_into(buf: &mut Vec<u8>, session: u64, seq: u64, payload: &[u8]) {
+    buf.clear();
     buf.extend_from_slice(FRAME_DOMAIN);
     buf.extend_from_slice(&session.to_be_bytes());
     buf.extend_from_slice(&seq.to_be_bytes());
     buf.extend_from_slice(&(payload.len() as u64).to_be_bytes());
     buf.extend_from_slice(payload);
-    buf
 }
 
 /// Canonical preimage a handshake signature is computed over: who claims to
@@ -171,6 +178,8 @@ pub struct SessionMac {
     pair: KeyPair,
     session: u64,
     next_seq: u64,
+    /// Reused preimage buffer (one MAC per frame is the hot path).
+    preimage: Vec<u8>,
 }
 
 impl SessionMac {
@@ -181,6 +190,7 @@ impl SessionMac {
             pair,
             session,
             next_seq: 1,
+            preimage: Vec::new(),
         }
     }
 
@@ -198,7 +208,8 @@ impl SessionMac {
     pub fn tag_next(&mut self, payload: &[u8]) -> (u64, Signature) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let sig = self.pair.sign(&frame_preimage(self.session, seq, payload));
+        frame_preimage_into(&mut self.preimage, self.session, seq, payload);
+        let sig = self.pair.sign(&self.preimage);
         (seq, sig)
     }
 }
@@ -211,6 +222,8 @@ pub struct SessionVerifier {
     peer: ProcessId,
     session: u64,
     next_seq: u64,
+    /// Reused preimage buffer (one verify per frame is the hot path).
+    preimage: Vec<u8>,
 }
 
 impl SessionVerifier {
@@ -222,6 +235,7 @@ impl SessionVerifier {
             peer,
             session,
             next_seq: 1,
+            preimage: Vec::new(),
         }
     }
 
@@ -255,10 +269,8 @@ impl SessionVerifier {
                 expected: self.next_seq,
             });
         }
-        if !self
-            .dir
-            .verify(&frame_preimage(self.session, seq, payload), sig)
-        {
+        frame_preimage_into(&mut self.preimage, self.session, seq, payload);
+        if !self.dir.verify(&self.preimage, sig) {
             return Err(SessionError::BadTag);
         }
         self.next_seq += 1;

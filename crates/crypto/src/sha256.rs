@@ -106,12 +106,20 @@ impl Sha256 {
     /// Completes the hash, consuming the hasher.
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.length.wrapping_mul(8);
-        // Padding: 0x80, zeros, 64-bit big-endian bit length.
-        self.update(&[0x80]);
-        while self.buffered != 56 {
-            self.update(&[0]);
+        // Padding: 0x80, zeros, 64-bit big-endian bit length — written
+        // directly into the block buffer (the byte-at-a-time `update` loop
+        // this replaces dominated the cost of hashing short messages).
+        let buffered = self.buffered;
+        self.buffer[buffered] = 0x80;
+        if buffered < 56 {
+            self.buffer[buffered + 1..56].fill(0);
+        } else {
+            // No room for the length: the padding spills into a second block.
+            self.buffer[buffered + 1..].fill(0);
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer[..56].fill(0);
         }
-        // `update` would double-count the length bytes; append manually.
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
         self.compress(&block);

@@ -62,7 +62,7 @@ use fastbft_runtime::{spawn_with, ClusterHandle, NodeSeat, Transport};
 use fastbft_sim::{Actor, SimMessage};
 use fastbft_types::wire::{Decode, Encode};
 
-pub use tcp::{TcpOptions, TcpTransport};
+pub use tcp::{TcpOptions, TcpStats, TcpTransport};
 
 /// Spawns a thread-per-replica cluster whose replicas talk over loopback
 /// TCP with authenticated frames — the socket-backed sibling of

@@ -1,0 +1,150 @@
+//! Hostile-peer isolation: a blackholed replica (its listener accepts TCP
+//! connections at the kernel but its process never handshakes or reads)
+//! must cost the three correct replicas **nothing** but one writer thread
+//! each and some counted frame drops — their decision throughput must not
+//! collapse. Before the per-peer send pipeline, every send to the
+//! blackholed peer stalled the sender's event loop for up to
+//! `connect/handshake` timeouts, freezing timers and multiplying the run
+//! time by orders of magnitude.
+
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+use fastbft_core::replica::ReplicaOptions;
+use fastbft_crypto::KeyDirectory;
+use fastbft_net::{TcpOptions, TcpTransport};
+use fastbft_runtime::{spawn_with, NodeSeat};
+use fastbft_sim::Actor;
+use fastbft_smr::runtime::{smr_actors, SmrClusterHandle};
+use fastbft_smr::{CountingMachine, SlotMessage};
+use fastbft_types::{Config, ProcessId, Value};
+
+const COMMANDS: u64 = 64;
+const TICK: Duration = Duration::from_micros(50);
+
+fn hostile_opts() -> TcpOptions {
+    TcpOptions {
+        handshake_timeout: Duration::from_millis(300),
+        connect_retries: 2,
+        connect_backoff: Duration::from_millis(10),
+        connect_timeout: Duration::from_millis(300),
+        redial_cooldown: Duration::from_millis(100),
+        // The queue bound stays at its (ample) default: correct links must
+        // never shed load — the model makes them reliable. Frames toward
+        // the blackholed peer drop via the unreachable/cooldown path and
+        // the count proves it; the full-queue drop path is pinned by
+        // `send_pipeline.rs`.
+        ..TcpOptions::default()
+    }
+}
+
+fn smr_opts() -> ReplicaOptions {
+    // Default options: the blackholed replica *leads* every fourth slot,
+    // so those slots must recover via the view synchronizer — the default
+    // 8·Δ (≈ 40 ms wall) timeout keeps that recovery brisk.
+    ReplicaOptions::default()
+}
+
+fn actors(cfg: Config, seed: u64) -> (Vec<Box<dyn Actor<SlotMessage> + Send>>, KeyState) {
+    let (pairs, dir) = KeyDirectory::generate(cfg.n(), seed);
+    let idle = Value::from_u64(u64::MAX);
+    let queue: Vec<Value> = (0..COMMANDS).map(Value::from_u64).collect();
+    let actors = smr_actors(
+        cfg,
+        &pairs,
+        &dir,
+        CountingMachine::new(),
+        vec![queue; cfg.n()],
+        idle.clone(),
+        smr_opts(),
+        1,
+    );
+    (actors, KeyState { pairs, dir, idle })
+}
+
+struct KeyState {
+    pairs: Vec<fastbft_crypto::KeyPair>,
+    dir: KeyDirectory,
+    idle: Value,
+}
+
+/// Wall-clock seconds for the three correct replicas (p1–p3) to commit and
+/// apply all commands. When `blackhole` is set, p4's listener is bound but
+/// its transport, actor and handlers never exist.
+fn run(seed: u64, blackhole: bool) -> (f64, u64) {
+    let cfg = Config::new(4, 1, 1).unwrap();
+    let (mut all_actors, keys) = actors(cfg, seed);
+    let live = if blackhole {
+        all_actors.truncate(3);
+        3
+    } else {
+        4
+    };
+
+    let listeners: Vec<TcpListener> = (0..4)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)).unwrap())
+        .collect();
+    let addrs: Vec<_> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+
+    let mut seats: Vec<NodeSeat<SlotMessage, TcpTransport<SlotMessage>>> = Vec::new();
+    let mut stats = Vec::new();
+    for (i, actor) in all_actors.into_iter().enumerate() {
+        let (transport, control) = TcpTransport::start(
+            keys.pairs[i].clone(),
+            keys.dir.clone(),
+            listeners[i].try_clone().unwrap(),
+            addrs.clone(),
+            hostile_opts(),
+        )
+        .unwrap();
+        stats.push(transport.stats());
+        seats.push(NodeSeat {
+            actor,
+            transport,
+            control,
+        });
+    }
+    // In the blackhole run, listeners[3] stays bound (SYNs are accepted by
+    // the kernel backlog) but is never served — the worst non-crash shape:
+    // dials "succeed", then handshakes hang until timeout.
+
+    let inner = spawn_with(seats, TICK);
+    let mut cluster = SmrClusterHandle::new(inner, live, keys.idle.clone());
+    let start = Instant::now();
+    let correct = (0..3).map(ProcessId::from_index);
+    let ok = cluster.await_commands(correct, COMMANDS, Duration::from_secs(60));
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(
+        ok,
+        "correct replicas must keep committing (blackhole: {blackhole})"
+    );
+    assert!(cluster.logs_agree(), "log divergence");
+    cluster.shutdown();
+    let dropped = stats.iter().map(|s| s.dropped_to(ProcessId(4))).sum();
+    (elapsed, dropped)
+}
+
+#[test]
+fn blackholed_replica_does_not_reduce_correct_replicas_throughput() {
+    // Warm run first (page cache, allocator, loopback state), and sanity:
+    // the healthy cluster must be quick.
+    let (healthy, _) = run(41, false);
+    // Budget for the hostile run: the protocol must view-change past the
+    // blackholed replica's ~16 dead-leader slots (≈ 40 ms timeout each,
+    // overlapping under the 16-deep pipeline) — comfortably under 10 s.
+    // The *failure mode this guards against* is categorically slower:
+    // when sends dialed and handshook on the event-loop thread, every
+    // send toward the blackhole froze the sender's timers for up to
+    // 600 ms, so dead-leader slots could not even time out promptly and
+    // the run took minutes.
+    let (blackholed, dropped) = run(42, true);
+    assert!(
+        blackholed < 10.0,
+        "blackholed peer must not stall the cluster: healthy {healthy:.3}s, blackholed {blackholed:.3}s"
+    );
+    // The bounded queues shed load toward the blackhole, and counted it.
+    assert!(
+        dropped > 0,
+        "frames toward the blackholed replica must be dropped and counted"
+    );
+}

@@ -17,7 +17,7 @@ use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use fastbft_sim::{Actor, Effects, SimMessage, SimTime, TimerId};
+use fastbft_sim::{Actor, Effects, Outgoing, SimMessage, SimTime, TimerId};
 use fastbft_types::{ProcessId, Value};
 
 use crate::transport::{ChannelTransport, Inbound, Polled, Transport};
@@ -189,8 +189,13 @@ fn run_node<M: SimMessage>(
     macro_rules! apply {
         ($fx:expr) => {{
             let fx = $fx;
-            for (to, msg) in fx.sent() {
-                transport.send(*to, msg.clone());
+            for effect in fx.outgoing() {
+                match effect {
+                    Outgoing::To(to, msg) => transport.send(*to, msg.clone()),
+                    // Structural broadcast: the transport may encode the
+                    // payload once for all destinations (TCP does).
+                    Outgoing::All(msg) => transport.broadcast(msg.clone()),
+                }
             }
             for (delay, timer) in fx.timers_set() {
                 timers.push(Reverse((
@@ -220,7 +225,12 @@ fn run_node<M: SimMessage>(
     actor.on_start(&mut fx);
     apply!(&fx);
 
-    loop {
+    // How many already-queued inbound events one wakeup may drain: big
+    // enough to amortize the wakeup + timer-heap bookkeeping over a burst,
+    // small enough that timers are still checked promptly under load.
+    const RECV_BATCH: usize = 64;
+
+    'event_loop: loop {
         // Fire due timers.
         let now = Instant::now();
         while let Some(Reverse((deadline, timer))) = timers.peek().copied() {
@@ -232,23 +242,34 @@ fn run_node<M: SimMessage>(
             actor.on_timer(TimerId(timer), &mut fx);
             apply!(&fx);
         }
-        // Wait for the next message or timer deadline.
+        // Wait for the next message or timer deadline, then drain the
+        // burst that is already queued — one wakeup per batch, not per
+        // message.
         let timeout = timers
             .peek()
             .map(|Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()));
-        match transport.recv(timeout) {
-            Polled::Delivered(from, msg) => {
-                let mut fx = Effects::new(id, n, now_ticks(start));
-                actor.on_message(from, msg, &mut fx);
-                apply!(&fx);
+        for polled in transport.recv_batch(RECV_BATCH, timeout) {
+            match polled {
+                Polled::Delivered(from, msg) => {
+                    let mut fx = Effects::new(id, n, now_ticks(start));
+                    actor.on_message(from, msg, &mut fx);
+                    apply!(&fx);
+                }
+                Polled::DeliveredBatch(from, msgs) => {
+                    for msg in msgs {
+                        let mut fx = Effects::new(id, n, now_ticks(start));
+                        actor.on_message(from, msg, &mut fx);
+                        apply!(&fx);
+                    }
+                }
+                Polled::Client(command) => {
+                    let mut fx = Effects::new(id, n, now_ticks(start));
+                    actor.on_client(command, &mut fx);
+                    apply!(&fx);
+                }
+                Polled::TimedOut => {} // timer loop handles it on the next iteration
+                Polled::Shutdown | Polled::Closed => break 'event_loop,
             }
-            Polled::Client(command) => {
-                let mut fx = Effects::new(id, n, now_ticks(start));
-                actor.on_client(command, &mut fx);
-                apply!(&fx);
-            }
-            Polled::TimedOut => {} // timer loop handles it on the next iteration
-            Polled::Shutdown | Polled::Closed => break,
         }
     }
     actor

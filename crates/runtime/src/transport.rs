@@ -26,6 +26,10 @@ pub enum Inbound<M> {
     /// cryptographically (TCP transport) — never taken from the peer's own
     /// claim.
     Peer(ProcessId, M),
+    /// Several protocol messages from one peer, delivered in order — how a
+    /// transport that coalesces frames (TCP's writer drains) hands a whole
+    /// authenticated batch to the event loop with a single queue operation.
+    PeerBatch(ProcessId, Vec<M>),
     /// A client command submitted to this node while the cluster runs
     /// (routed to [`fastbft_sim::Actor::on_client`]). Clients are outside
     /// the `n`-process membership, so no sender id is attached.
@@ -39,6 +43,9 @@ pub enum Inbound<M> {
 pub enum Polled<M> {
     /// A message from a peer was delivered.
     Delivered(ProcessId, M),
+    /// An in-order batch of messages from one peer was delivered (see
+    /// [`Inbound::PeerBatch`]); the event loop processes them back to back.
+    DeliveredBatch(ProcessId, Vec<M>),
     /// A client command was submitted.
     Client(Value),
     /// The shutdown signal arrived.
@@ -63,9 +70,64 @@ pub trait Transport<M: SimMessage>: Send + 'static {
     /// delivery between *correct* processes.
     fn send(&mut self, to: ProcessId, msg: M);
 
+    /// Number of processes in the cluster, including this one — what the
+    /// default [`broadcast`](Transport::broadcast) enumerates.
+    fn cluster_size(&self) -> usize;
+
+    /// Sends `msg` to every process, *including* this one (self-delivery
+    /// keeps quorum counting uniform).
+    ///
+    /// The default is `cluster_size` point-to-point sends. Serializing
+    /// transports should override it to encode the payload **once** per
+    /// broadcast instead of once per destination — the TCP transport does
+    /// (its per-peer frame MACs are computed over the shared bytes).
+    fn broadcast(&mut self, msg: M) {
+        for to in ProcessId::all(self.cluster_size()) {
+            self.send(to, msg.clone());
+        }
+    }
+
     /// Waits for the next inbound event, at most `timeout` (`None` = wait
     /// forever).
     fn recv(&mut self, timeout: Option<Duration>) -> Polled<M>;
+
+    /// Waits for the next inbound event like [`recv`](Transport::recv),
+    /// then opportunistically drains up to `max - 1` more *already queued*
+    /// events without blocking — the event loop processes the whole batch
+    /// per wakeup instead of paying one wakeup per message.
+    ///
+    /// The returned batch is never empty; only its trailing element may be
+    /// a control outcome ([`Polled::TimedOut`], [`Polled::Shutdown`],
+    /// [`Polled::Closed`]) — draining stops as soon as one is seen, so no
+    /// delivery is ever sequenced after a shutdown.
+    ///
+    /// The default drains by polling `recv` with a zero timeout;
+    /// queue-backed transports override it with [`poll_queue_batch`].
+    fn recv_batch(&mut self, max: usize, timeout: Option<Duration>) -> Vec<Polled<M>> {
+        let mut out = Vec::with_capacity(max.clamp(1, 64));
+        let first = self.recv(timeout);
+        let draining = matches!(
+            first,
+            Polled::Delivered(..) | Polled::DeliveredBatch(..) | Polled::Client(_)
+        );
+        out.push(first);
+        while draining && out.len() < max.max(1) {
+            match self.recv(Some(Duration::ZERO)) {
+                Polled::TimedOut => break,
+                event => {
+                    let stop = !matches!(
+                        event,
+                        Polled::Delivered(..) | Polled::DeliveredBatch(..) | Polled::Client(_)
+                    );
+                    out.push(event);
+                    if stop {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Maps a drained [`Inbound`] queue entry to a [`Polled`] outcome — shared
@@ -82,11 +144,47 @@ pub fn poll_queue<M>(rx: &Receiver<Inbound<M>>, timeout: Option<Duration>) -> Po
             Err(_) => return Polled::Closed,
         },
     };
+    polled_from(event)
+}
+
+fn polled_from<M>(event: Inbound<M>) -> Polled<M> {
     match event {
         Inbound::Peer(from, msg) => Polled::Delivered(from, msg),
+        Inbound::PeerBatch(from, msgs) => Polled::DeliveredBatch(from, msgs),
         Inbound::Client(command) => Polled::Client(command),
         Inbound::Shutdown => Polled::Shutdown,
     }
+}
+
+/// [`Transport::recv_batch`] for queue-fed transports: one (possibly
+/// blocking) [`poll_queue`], then a non-blocking `try_recv` drain of
+/// whatever is already queued, up to `max` events total. Stops at the
+/// first control outcome so nothing is sequenced after a shutdown.
+pub fn poll_queue_batch<M>(
+    rx: &Receiver<Inbound<M>>,
+    max: usize,
+    timeout: Option<Duration>,
+) -> Vec<Polled<M>> {
+    let mut out = Vec::with_capacity(max.clamp(1, 64));
+    let first = poll_queue(rx, timeout);
+    let draining = matches!(
+        first,
+        Polled::Delivered(..) | Polled::DeliveredBatch(..) | Polled::Client(_)
+    );
+    out.push(first);
+    while draining && out.len() < max.max(1) {
+        let Some(event) = rx.try_recv() else { break };
+        let polled = polled_from(event);
+        let stop = !matches!(
+            polled,
+            Polled::Delivered(..) | Polled::DeliveredBatch(..) | Polled::Client(_)
+        );
+        out.push(polled);
+        if stop {
+            break;
+        }
+    }
+    out
 }
 
 /// The in-process transport: one crossbeam channel per node plays the
@@ -129,8 +227,16 @@ impl<M: SimMessage> Transport<M> for ChannelTransport<M> {
         let _ = self.peers[to.index()].send(Inbound::Peer(self.id, msg));
     }
 
+    fn cluster_size(&self) -> usize {
+        self.peers.len()
+    }
+
     fn recv(&mut self, timeout: Option<Duration>) -> Polled<M> {
         poll_queue(&self.rx, timeout)
+    }
+
+    fn recv_batch(&mut self, max: usize, timeout: Option<Duration>) -> Vec<Polled<M>> {
+        poll_queue_batch(&self.rx, max, timeout)
     }
 }
 
@@ -194,6 +300,64 @@ mod tests {
             Polled::Client(cmd) => assert_eq!(cmd, Value::from_u64(9)),
             other => panic!("unexpected poll result: {other:?}"),
         }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_including_self() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(3);
+        let (mut t2, _) = mesh.remove(2);
+        let (mut t0, _) = mesh.remove(0);
+        t2.broadcast(Ping(5));
+        assert!(matches!(
+            t0.recv(Some(Duration::from_secs(1))),
+            Polled::Delivered(ProcessId(3), Ping(5))
+        ));
+        assert!(matches!(
+            t2.recv(Some(Duration::from_secs(1))),
+            Polled::Delivered(ProcessId(3), Ping(5))
+        ));
+    }
+
+    #[test]
+    fn recv_batch_drains_queued_messages_in_order() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(2);
+        let (mut t1, _) = mesh.remove(1);
+        let (mut t0, _) = mesh.remove(0);
+        for i in 0..5 {
+            t1.send(ProcessId(1), Ping(i));
+        }
+        let batch = t0.recv_batch(3, Some(Duration::from_secs(1)));
+        assert_eq!(batch.len(), 3, "capped at max");
+        for (i, polled) in batch.into_iter().enumerate() {
+            match polled {
+                Polled::Delivered(ProcessId(2), Ping(got)) => assert_eq!(got, i as u32),
+                other => panic!("unexpected poll result: {other:?}"),
+            }
+        }
+        // The rest is still queued.
+        assert_eq!(t0.recv_batch(16, Some(Duration::from_secs(1))).len(), 2);
+    }
+
+    #[test]
+    fn recv_batch_stops_at_shutdown() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(1);
+        let (mut t, control) = mesh.remove(0);
+        control.send(Inbound::Peer(ProcessId(1), Ping(1))).unwrap();
+        control.send(Inbound::Shutdown).unwrap();
+        control.send(Inbound::Peer(ProcessId(1), Ping(2))).unwrap();
+        let batch = t.recv_batch(16, Some(Duration::from_secs(1)));
+        assert_eq!(batch.len(), 2, "nothing is sequenced after a shutdown");
+        assert!(matches!(batch[0], Polled::Delivered(_, Ping(1))));
+        assert!(matches!(batch[1], Polled::Shutdown));
+    }
+
+    #[test]
+    fn recv_batch_timeout_is_a_singleton() {
+        let mut mesh = ChannelTransport::<Ping>::mesh(1);
+        let (mut t, _control) = mesh.remove(0);
+        let batch = t.recv_batch(16, Some(Duration::from_millis(1)));
+        assert_eq!(batch.len(), 1);
+        assert!(matches!(batch[0], Polled::TimedOut));
     }
 
     #[test]

@@ -62,6 +62,22 @@ pub trait Actor<M: SimMessage> {
     }
 }
 
+/// One outgoing-message effect, in emission order.
+///
+/// Broadcasts are recorded *structurally* rather than expanded into `n`
+/// point-to-point sends: a transport that serializes messages (the TCP
+/// transport) can then encode the payload exactly once per broadcast
+/// instead of once per destination. The simulator and the channel runtime
+/// expand [`Outgoing::All`] into per-destination deliveries, so observable
+/// behavior (per-link delays, message counting) is unchanged.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outgoing<M> {
+    /// A point-to-point send to one process.
+    To(ProcessId, M),
+    /// A broadcast to every process, *including* the sender.
+    All(M),
+}
+
 /// Effect buffer handed to an [`Actor`] callback; the kernel drains it after
 /// the callback returns.
 #[derive(Debug)]
@@ -69,7 +85,7 @@ pub struct Effects<M> {
     id: ProcessId,
     n: usize,
     now: SimTime,
-    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) outbox: Vec<Outgoing<M>>,
     pub(crate) timers: Vec<(SimDuration, TimerId)>,
     pub(crate) decision: Option<Value>,
     pub(crate) applied: Vec<(u64, Value)>,
@@ -87,7 +103,7 @@ impl<M: SimMessage> Effects<M> {
             id,
             n,
             now,
-            sends: Vec::new(),
+            outbox: Vec::new(),
             timers: Vec::new(),
             decision: None,
             applied: Vec::new(),
@@ -95,9 +111,29 @@ impl<M: SimMessage> Effects<M> {
         }
     }
 
-    /// The messages queued so far, in send order (test inspection).
-    pub fn sent(&self) -> &[(ProcessId, M)] {
-        &self.sends
+    /// The outgoing-message effects in emission order, with broadcasts kept
+    /// structural — what the runtimes consume (see [`Outgoing`]).
+    pub fn outgoing(&self) -> &[Outgoing<M>] {
+        &self.outbox
+    }
+
+    /// The messages queued so far in send order, with broadcasts expanded
+    /// into one `(destination, message)` pair per process (test
+    /// inspection; the hot paths consume [`outgoing`](Effects::outgoing)
+    /// instead, which does not clone).
+    pub fn sent(&self) -> Vec<(ProcessId, M)> {
+        let mut out = Vec::new();
+        for effect in &self.outbox {
+            match effect {
+                Outgoing::To(to, msg) => out.push((*to, msg.clone())),
+                Outgoing::All(msg) => {
+                    for to in ProcessId::all(self.n) {
+                        out.push((to, msg.clone()));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// The timers requested so far (test inspection).
@@ -128,24 +164,27 @@ impl<M: SimMessage> Effects<M> {
     /// Sends `msg` to `to` (point-to-point, authenticated channel).
     /// Sending to self is allowed and delivered like any other message.
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.sends.push((to, msg));
+        self.outbox.push(Outgoing::To(to, msg));
     }
 
     /// Sends `msg` to every process, *including* the sender itself.
     ///
     /// Self-delivery keeps quorum counting uniform: a process's own ack
     /// counts exactly like anyone else's, as in the paper's counting.
+    ///
+    /// Recorded as one structural [`Outgoing::All`] effect, so a
+    /// serializing transport encodes the payload once per broadcast, not
+    /// once per destination.
     pub fn broadcast(&mut self, msg: M) {
-        for to in ProcessId::all(self.n) {
-            self.sends.push((to, msg.clone()));
-        }
+        self.outbox.push(Outgoing::All(msg));
     }
 
-    /// Sends `msg` to every process except the sender.
+    /// Sends `msg` to every process except the sender. Cold path (used by
+    /// the view synchronizer only), so it stays point-to-point.
     pub fn broadcast_others(&mut self, msg: M) {
         for to in ProcessId::all(self.n) {
             if to != self.id {
-                self.sends.push((to, msg.clone()));
+                self.outbox.push(Outgoing::To(to, msg.clone()));
             }
         }
     }
@@ -203,7 +242,9 @@ mod tests {
     fn broadcast_includes_self() {
         let mut fx = Effects::new(ProcessId(2), 4, SimTime::ZERO);
         fx.broadcast(Ping);
-        let targets: Vec<u32> = fx.sends.iter().map(|(p, _)| p.0).collect();
+        // Structural: one effect, expanded to all n on demand.
+        assert_eq!(fx.outgoing(), &[Outgoing::All(Ping)]);
+        let targets: Vec<u32> = fx.sent().iter().map(|(p, _)| p.0).collect();
         assert_eq!(targets, vec![1, 2, 3, 4]);
     }
 
@@ -211,8 +252,26 @@ mod tests {
     fn broadcast_others_excludes_self() {
         let mut fx = Effects::new(ProcessId(2), 4, SimTime::ZERO);
         fx.broadcast_others(Ping);
-        let targets: Vec<u32> = fx.sends.iter().map(|(p, _)| p.0).collect();
+        let targets: Vec<u32> = fx.sent().iter().map(|(p, _)| p.0).collect();
         assert_eq!(targets, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn outbox_preserves_emission_order_across_kinds() {
+        let mut fx = Effects::new(ProcessId(1), 3, SimTime::ZERO);
+        fx.send(ProcessId(2), Ping);
+        fx.broadcast(Ping);
+        fx.send(ProcessId(3), Ping);
+        assert_eq!(
+            fx.outgoing(),
+            &[
+                Outgoing::To(ProcessId(2), Ping),
+                Outgoing::All(Ping),
+                Outgoing::To(ProcessId(3), Ping),
+            ]
+        );
+        let targets: Vec<u32> = fx.sent().iter().map(|(p, _)| p.0).collect();
+        assert_eq!(targets, vec![2, 1, 2, 3, 3]);
     }
 
     #[test]
@@ -224,7 +283,7 @@ mod tests {
         fx.send(ProcessId(3), Ping);
         fx.set_timer(SimDuration(10), TimerId(1));
         fx.decide(Value::from_u64(1));
-        assert_eq!(fx.sends.len(), 1);
+        assert_eq!(fx.outbox.len(), 1);
         assert_eq!(fx.timers, vec![(SimDuration(10), TimerId(1))]);
         assert_eq!(fx.decision, Some(Value::from_u64(1)));
         assert!(!fx.halt);

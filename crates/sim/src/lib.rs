@@ -35,7 +35,7 @@ mod script;
 mod time;
 mod trace;
 
-pub use actor::{Actor, Effects, SimMessage, TimerId};
+pub use actor::{Actor, Effects, Outgoing, SimMessage, TimerId};
 pub use checker::{ConsensusChecker, Violation};
 pub use network::{DelayPolicy, Network, SendInfo};
 pub use runner::Simulation;

@@ -13,7 +13,7 @@ use fastbft_types::{ProcessId, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::actor::{Actor, Effects, SimMessage, TimerId};
+use crate::actor::{Actor, Effects, Outgoing, SimMessage, TimerId};
 use crate::network::{Network, SendInfo};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent};
@@ -182,15 +182,28 @@ impl<M: SimMessage> Simulation<M> {
     /// model). Regular actors should send via [`Effects`] instead.
     pub fn inject_message(&mut self, from: ProcessId, to: ProcessId, msg: M, at: SimTime) {
         debug_assert!(at >= self.now, "cannot inject into the past");
+        self.route_at(from, to, msg, at);
+    }
+
+    /// Routes one outgoing message sent by `from` at the current instant:
+    /// picks a delivery time from the network model, records the trace
+    /// event, and schedules the delivery.
+    fn route(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        self.route_at(from, to, msg, self.now);
+    }
+
+    /// Shared body of [`route`](Simulation::route) and
+    /// [`inject_message`](Simulation::inject_message).
+    fn route_at(&mut self, from: ProcessId, to: ProcessId, msg: M, sent_at: SimTime) {
         let info = SendInfo {
             from,
             to,
-            sent_at: at,
+            sent_at,
             seq: self.next_send_seq(),
         };
         let deliver_at = self.network.delivery_time(&info, &mut self.rng);
         self.trace.push(
-            at,
+            sent_at,
             TraceEvent::Send {
                 from,
                 to,
@@ -239,32 +252,27 @@ impl<M: SimMessage> Simulation<M> {
 
     fn apply_effects(&mut self, node: usize, fx: Effects<M>) {
         let id = ProcessId::from_index(node);
+        let n = self.nodes.len();
         let Effects {
-            sends,
+            outbox,
             timers,
             decision,
             halt,
             ..
         } = fx;
-        for (to, msg) in sends {
-            let info = SendInfo {
-                from: id,
-                to,
-                sent_at: self.now,
-                seq: self.next_send_seq(),
-            };
-            let deliver_at = self.network.delivery_time(&info, &mut self.rng);
-            self.trace.push(
-                self.now,
-                TraceEvent::Send {
-                    from: id,
-                    to,
-                    kind: msg.kind(),
-                    bytes: msg.wire_size(),
-                    deliver_at,
-                },
-            );
-            self.push_event(deliver_at, to.index(), EventKind::Deliver { from: id, msg });
+        // Broadcasts are structural in the outbox (so real transports can
+        // encode once); the simulator expands them here, in emission order,
+        // so per-link delays and message counting are per destination
+        // exactly as before.
+        for effect in outbox {
+            match effect {
+                Outgoing::To(to, msg) => self.route(id, to, msg),
+                Outgoing::All(msg) => {
+                    for to in ProcessId::all(n) {
+                        self.route(id, to, msg.clone());
+                    }
+                }
+            }
         }
         for (delay, timer) in timers {
             let at = self.now + delay;

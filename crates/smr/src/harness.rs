@@ -92,6 +92,33 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
         )
     }
 
+    /// Like [`SmrSimCluster::new_batched`] but also pinning the slot
+    /// pipeline depth (see [`SmrNode::with_pipeline_depth`]) — tests that
+    /// must observe batching or sequencing in isolation pass `1`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_batched_with_depth(
+        cfg: Config,
+        seed: u64,
+        machine: S,
+        commands: Vec<Vec<Value>>,
+        idle_input: Value,
+        opts: ReplicaOptions,
+        batch_size: usize,
+        pipeline_depth: u64,
+    ) -> Self {
+        Self::build(
+            cfg,
+            seed,
+            machine,
+            commands,
+            idle_input,
+            opts,
+            batch_size,
+            Some(pipeline_depth),
+            Network::synchronous(SimDuration::DELTA),
+        )
+    }
+
     /// Like [`SmrSimCluster::new_batched`] but over an arbitrary [`Network`]
     /// — scripted and adversarial delay schedules included. This is the
     /// entry point for pipelining regression tests, where slots must be
@@ -107,12 +134,29 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
         batch_size: usize,
         network: Network,
     ) -> Self {
+        Self::build(
+            cfg, seed, machine, commands, idle_input, opts, batch_size, None, network,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        cfg: Config,
+        seed: u64,
+        machine: S,
+        commands: Vec<Vec<Value>>,
+        idle_input: Value,
+        opts: ReplicaOptions,
+        batch_size: usize,
+        pipeline_depth: Option<u64>,
+        network: Network,
+    ) -> Self {
         assert_eq!(commands.len(), cfg.n(), "one command queue per process");
         let delta = SimDuration::DELTA;
         let (pairs, dir) = KeyDirectory::generate(cfg.n(), seed);
         let mut sim = Simulation::new(network, seed.wrapping_add(7));
         for (i, cmds) in commands.into_iter().enumerate() {
-            let node = SmrNode::new(
+            let mut node = SmrNode::new(
                 cfg,
                 pairs[i].clone(),
                 dir.clone(),
@@ -122,6 +166,9 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
             )
             .with_options(opts.clone())
             .with_batch_size(batch_size);
+            if let Some(depth) = pipeline_depth {
+                node = node.with_pipeline_depth(depth);
+            }
             sim.add_actor(Box::new(node));
         }
         sim.start();
@@ -164,6 +211,12 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
     /// One node's applied log.
     pub fn log(&self, p: ProcessId) -> Vec<Value> {
         self.node(p).log().to_vec()
+    }
+
+    /// One node's at-most-once dedup state size (see
+    /// [`SmrNode::dedup_entries`]) — for boundedness assertions.
+    pub fn dedup_entries(&self, p: ProcessId) -> usize {
+        self.node(p).dedup_entries()
     }
 
     /// Runs until every node applied at least `k` slots (or `horizon`).

@@ -46,5 +46,5 @@ pub mod runtime;
 pub use harness::{logs_consistent, SmrReport, SmrSimCluster};
 pub use kv::{KvCommand, KvOutput, KvStore};
 pub use machine::{CountingMachine, StateMachine};
-pub use multiplex::{SlotMessage, SmrNode};
+pub use multiplex::{parse_client_tag, tag_command, SlotMessage, SmrNode};
 pub use runtime::{as_smr_node, smr_actors, SmrClusterHandle};

@@ -22,12 +22,12 @@
 //!   an idle cluster stops proposing filler instead of burning CPU — a
 //!   client command (see [`Actor::on_client`]) restarts it.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use fastbft_core::message::Message;
 use fastbft_core::replica::{Replica, ReplicaOptions};
 use fastbft_crypto::{KeyDirectory, KeyPair};
-use fastbft_sim::{Actor, Effects, SimMessage, TimerId};
+use fastbft_sim::{Actor, Effects, Outgoing, SimMessage, TimerId};
 use fastbft_types::{Config, ProcessId, Value};
 
 use crate::machine::StateMachine;
@@ -55,6 +55,83 @@ impl SimMessage for SlotMessage {
 // slot-tagged frames travel the authenticated TCP transport exactly like
 // single-shot `Message` frames do.
 fastbft_types::impl_wire_struct!(SlotMessage { slot, inner });
+
+/// Magic prefix marking a client-tagged command (see [`tag_command`]).
+const CLIENT_TAG_MAGIC: &[u8; 4] = b"FBC1";
+
+/// Encodes a client command as `(client id, sequence number, body)` — the
+/// structured form of "clients tag id+seq for repeats" from the at-most-once
+/// semantics. Tagged commands are deduplicated by `(client, seq)` with a
+/// per-client **watermark**, so the dedup state a node keeps for a client is
+/// bounded by that client's out-of-order window instead of growing with the
+/// log (untagged commands fall back to the unbounded content-digest set).
+///
+/// Sequence numbers start at 1; a client reusing a `(client, seq)` pair for
+/// a different body has only itself to hurt (the second body is treated as
+/// a duplicate — deterministically, on every replica).
+///
+/// **Trust model.** The tag is plain bytes inside an opaque command, so a
+/// `(client, seq)` identity is only as trustworthy as the proposals that
+/// carry it: a Byzantine leader that commits a *forged* body under some
+/// `(client, seq)` consumes that identity, and the client's real command
+/// with the same pair will dedup against it (deterministically, on every
+/// replica — safety is unaffected, but that client's command is censored).
+/// Digest dedup did not grant that power, at the cost of unbounded state.
+/// The standard remedy — clients *sign* tagged commands and replicas
+/// propose only verified ones — needs per-client keys, which this
+/// workspace's cluster-only key directory does not model yet; until then,
+/// tag commands only where proposers are trusted or censorship of a
+/// specific `(client, seq)` is acceptable, and use untagged commands
+/// otherwise.
+pub fn tag_command(client: u64, seq: u64, body: &[u8]) -> Value {
+    let mut bytes = Vec::with_capacity(4 + 8 + 8 + body.len());
+    bytes.extend_from_slice(CLIENT_TAG_MAGIC);
+    bytes.extend_from_slice(&client.to_be_bytes());
+    bytes.extend_from_slice(&seq.to_be_bytes());
+    bytes.extend_from_slice(body);
+    Value::new(bytes)
+}
+
+/// Parses a command produced by [`tag_command`], returning its
+/// `(client, seq)` identity. `None` for untagged (plain) commands.
+pub fn parse_client_tag(cmd: &Value) -> Option<(u64, u64)> {
+    let bytes = cmd.as_bytes();
+    if bytes.len() < 20 || &bytes[..4] != CLIENT_TAG_MAGIC {
+        return None;
+    }
+    let client = u64::from_be_bytes(bytes[4..12].try_into().expect("sized slice"));
+    let seq = u64::from_be_bytes(bytes[12..20].try_into().expect("sized slice"));
+    Some((client, seq))
+}
+
+/// Per-client at-most-once state: every sequence number `<= watermark` has
+/// been applied, plus the (small, transient) set of applied seqs above the
+/// watermark — non-empty only while commits land out of submission order.
+#[derive(Debug, Default)]
+struct ClientDedup {
+    watermark: u64,
+    above: BTreeSet<u64>,
+}
+
+impl ClientDedup {
+    fn contains(&self, seq: u64) -> bool {
+        seq <= self.watermark || self.above.contains(&seq)
+    }
+
+    /// Records `seq` as applied and advances the watermark over the now
+    /// contiguous prefix, pruning every entry the watermark overtakes.
+    fn insert(&mut self, seq: u64) {
+        self.above.insert(seq);
+        while self.above.remove(&(self.watermark + 1)) {
+            self.watermark += 1;
+        }
+    }
+}
+
+/// Default [`SmrNode::with_pipeline_depth`]: a few slots in flight keeps
+/// the transport busy (frames from several slots coalesce into one write)
+/// without flooding the window when a slot stalls.
+const DEFAULT_PIPELINE_DEPTH: u64 = 16;
 
 /// How many slots ahead of the lowest unapplied slot a node will
 /// instantiate replicas for. Messages beyond the window are buffered.
@@ -87,6 +164,11 @@ pub struct SmrNode<S: StateMachine> {
     idle_input: Value,
     /// Commands bundled into one consensus value per slot.
     batch_size: usize,
+    /// How many consecutive slots may run concurrently while commands are
+    /// queued (1 = strictly sequential). Deeper pipelines amortize wakeups
+    /// and let the transport's writer threads coalesce frames from several
+    /// slots into single writes.
+    pipeline_depth: u64,
     /// Open consensus instances.
     slots: BTreeMap<u64, Replica>,
     /// Decided but possibly not yet applied values.
@@ -100,17 +182,24 @@ pub struct SmrNode<S: StateMachine> {
     /// batches committing in submission order even when slots open out of
     /// order under adversarial scheduling).
     propose_cursor: u64,
-    /// Digests of every applied client command (at-most-once guard): 32
-    /// bytes per command regardless of command size, so a Byzantine leader
-    /// committing large opaque values cannot inflate it beyond the log's
-    /// own growth.
+    /// Digests of applied **untagged** client commands (at-most-once
+    /// guard): 32 bytes per command regardless of command size. Grows with
+    /// the log for untagged traffic; clients that want bounded dedup state
+    /// tag their commands (see [`tag_command`]) and land in `clients`
+    /// instead.
     applied_cmds: HashSet<fastbft_crypto::Digest>,
+    /// Watermarked at-most-once state for **tagged** commands, per client:
+    /// bounded by each client's out-of-order window, pruned as the
+    /// watermark advances.
+    clients: HashMap<u64, ClientDedup>,
     /// Messages for slots beyond the window, bounded (see module docs).
     stashed: BTreeMap<u64, Vec<(ProcessId, Message)>>,
     /// Total messages across all `stashed` buckets.
     stashed_total: usize,
     /// The applied command log (for cross-replica assertions).
     log: Vec<Value>,
+    /// Client (non-idle) commands applied — the log length minus filler.
+    client_commands: u64,
 }
 
 impl<S: StateMachine> SmrNode<S> {
@@ -132,15 +221,18 @@ impl<S: StateMachine> SmrNode<S> {
             pending: commands.into_iter().collect(),
             idle_input,
             batch_size: 1,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             slots: BTreeMap::new(),
             decided: BTreeMap::new(),
             applied: 0,
             in_flight: BTreeMap::new(),
             propose_cursor: 0,
             applied_cmds: HashSet::new(),
+            clients: HashMap::new(),
             stashed: BTreeMap::new(),
             stashed_total: 0,
             log: Vec::new(),
+            client_commands: 0,
         }
     }
 
@@ -164,14 +256,32 @@ impl<S: StateMachine> SmrNode<S> {
         self
     }
 
+    /// Lets up to `depth` consecutive slots run concurrently while commands
+    /// are queued (1 = strictly sequential slots, the pre-pipelining
+    /// behavior). Commands still apply in slot order; a slot that decides
+    /// someone else's proposal gets its commands re-queued exactly as in
+    /// the sequential case. Default 16 (`DEFAULT_PIPELINE_DEPTH`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0.
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: u64) -> Self {
+        assert!(depth >= 1, "pipeline depth must be at least 1");
+        self.pipeline_depth = depth.min(SLOT_WINDOW);
+        self
+    }
+
     /// Number of *slots* applied so far.
     pub fn applied(&self) -> u64 {
         self.applied
     }
 
-    /// Number of *commands* applied so far (≥ slots when batching).
+    /// Number of *client* commands applied so far (≥ slots when batching;
+    /// idle filler is excluded, matching the runtime handle's
+    /// `await_commands` counting).
     pub fn commands_applied(&self) -> u64 {
-        self.log.len() as u64
+        self.client_commands
     }
 
     /// The applied command log.
@@ -231,6 +341,24 @@ impl<S: StateMachine> SmrNode<S> {
             .unwrap_or_else(|_| vec![value.clone()])
     }
 
+    /// Opens further slots, up to the pipeline depth, while commands are
+    /// queued — each drains its own proposal batch. Slots a peer already
+    /// opened reactively (with an idle proposal from us) are skipped; the
+    /// queued commands go into the next free slot.
+    fn fill_pipeline(&mut self, fx: &mut Effects<SlotMessage>) {
+        while !self.pending.is_empty() {
+            let slot = self.propose_cursor.max(self.applied);
+            if slot >= self.applied + self.pipeline_depth {
+                break;
+            }
+            if self.slots.contains_key(&slot) || self.decided.contains_key(&slot) {
+                self.propose_cursor = slot + 1;
+                continue;
+            }
+            self.open_slot(slot, fx);
+        }
+    }
+
     fn open_slot(&mut self, slot: u64, fx: &mut Effects<SlotMessage>) {
         if slot < self.applied || self.slots.contains_key(&slot) || self.decided.contains_key(&slot)
         {
@@ -269,14 +397,22 @@ impl<S: StateMachine> SmrNode<S> {
     }
 
     fn relay_inner(&mut self, slot: u64, inner: Effects<Message>, fx: &mut Effects<SlotMessage>) {
-        for (to, msg) in inner.sent() {
-            fx.send(
-                *to,
-                SlotMessage {
+        for effect in inner.outgoing() {
+            match effect {
+                Outgoing::To(to, msg) => fx.send(
+                    *to,
+                    SlotMessage {
+                        slot,
+                        inner: msg.clone(),
+                    },
+                ),
+                // Keep broadcasts structural through the slot wrapper so
+                // the transport still encodes the payload only once.
+                Outgoing::All(msg) => fx.broadcast(SlotMessage {
                     slot,
                     inner: msg.clone(),
-                },
-            );
+                }),
+            }
         }
         for (delay, timer) in inner.timers_set() {
             fx.set_timer(*delay, TimerId(slot * TIMER_STRIDE + timer.0));
@@ -286,9 +422,37 @@ impl<S: StateMachine> SmrNode<S> {
         }
     }
 
-    /// The at-most-once identity of a command: its content digest.
+    /// The at-most-once identity of an untagged command: its content digest.
     fn command_key(cmd: &Value) -> fastbft_crypto::Digest {
         fastbft_crypto::digest(cmd.as_bytes())
+    }
+
+    /// Whether a client command was already executed — by `(client, seq)`
+    /// watermark for tagged commands, by content digest for untagged ones.
+    fn command_applied(&self, cmd: &Value) -> bool {
+        match parse_client_tag(cmd) {
+            Some((client, seq)) => self.clients.get(&client).is_some_and(|d| d.contains(seq)),
+            None => self.applied_cmds.contains(&Self::command_key(cmd)),
+        }
+    }
+
+    /// Records a client command as executed (see [`command_applied`]).
+    fn mark_applied(&mut self, cmd: &Value) {
+        match parse_client_tag(cmd) {
+            Some((client, seq)) => self.clients.entry(client).or_default().insert(seq),
+            None => {
+                self.applied_cmds.insert(Self::command_key(cmd));
+            }
+        }
+    }
+
+    /// Size of the at-most-once dedup state: untagged digests plus
+    /// above-watermark seqs across clients. For a workload of tagged,
+    /// eventually-contiguous sequence numbers this returns to **zero** —
+    /// the watermarks prune everything — where digest-only dedup grew one
+    /// entry per command forever.
+    pub fn dedup_entries(&self) -> usize {
+        self.applied_cmds.len() + self.clients.values().map(|d| d.above.len()).sum::<usize>()
     }
 
     /// Applies one decided command: at-most-once by identity for client
@@ -296,12 +460,14 @@ impl<S: StateMachine> SmrNode<S> {
     /// committed commands from the local queue wherever they sit.
     fn apply_command(&mut self, cmd: Value, fx: &mut Effects<SlotMessage>) {
         if cmd != self.idle_input {
-            if !self.applied_cmds.insert(Self::command_key(&cmd)) {
+            if self.command_applied(&cmd) {
                 return; // already executed in an earlier slot
             }
+            self.mark_applied(&cmd);
             if let Some(pos) = self.pending.iter().position(|p| *p == cmd) {
                 self.pending.remove(pos);
             }
+            self.client_commands += 1;
         }
         self.machine.apply(&cmd);
         fx.record_applied(self.log.len() as u64, &cmd);
@@ -325,7 +491,7 @@ impl<S: StateMachine> SmrNode<S> {
             // slot already executed them) go back to the queue front.
             if let Some(mine) = self.in_flight.remove(&slot) {
                 for cmd in mine.into_iter().rev() {
-                    if !self.applied_cmds.contains(&Self::command_key(&cmd)) {
+                    if !self.command_applied(&cmd) {
                         self.pending.push_front(cmd);
                     }
                 }
@@ -338,6 +504,7 @@ impl<S: StateMachine> SmrNode<S> {
         if !self.pending.is_empty() || !self.in_flight.is_empty() {
             self.open_slot(self.applied, fx);
         }
+        self.fill_pipeline(fx);
         // Purge stash buckets the apply loop has overtaken: their slots are
         // settled, the messages can never be delivered, and dead entries
         // must not pin the stash cap (they are the *nearest* slots, which
@@ -390,6 +557,7 @@ impl<S: StateMachine> SmrNode<S> {
 impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
     fn on_start(&mut self, fx: &mut Effects<SlotMessage>) {
         self.open_slot(0, fx);
+        self.fill_pipeline(fx);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: SlotMessage, fx: &mut Effects<SlotMessage>) {
@@ -423,6 +591,7 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
         self.pending.push_back(command);
         // Wake the pipeline if it had quiesced; a no-op while it runs.
         self.open_slot(self.applied, fx);
+        self.fill_pipeline(fx);
     }
 
     fn label(&self) -> &'static str {

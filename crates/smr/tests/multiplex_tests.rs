@@ -194,7 +194,9 @@ fn batching_multiplies_throughput() {
     let cfg = Config::new(4, 1, 1).unwrap();
     let queue: Vec<Value> = (0..64).map(Value::from_u64).collect();
     let run = |batch: usize| {
-        let mut cluster = SmrSimCluster::new_batched(
+        // Pipeline depth pinned to 1: this test isolates the *batching*
+        // gain, which deeper slot pipelining (the default) would mask.
+        let mut cluster = SmrSimCluster::new_batched_with_depth(
             cfg,
             8,
             CountingMachine::new(),
@@ -202,6 +204,7 @@ fn batching_multiplies_throughput() {
             Value::from_u64(u64::MAX),
             ReplicaOptions::default(),
             batch,
+            1,
         );
         let report = cluster.run_until_commands(64, SimTime(50_000_000));
         assert!(report.commands_everywhere >= 64, "{report:?}");

@@ -196,6 +196,21 @@ pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
     value.to_wire_bytes()
 }
 
+/// Encodes a value into a caller-owned scratch buffer, reusing its
+/// allocation: the buffer is cleared first, so the result is exactly the
+/// canonical encoding ([`to_bytes`] produces identical bytes — pinned by a
+/// property test).
+///
+/// This is the allocation-free sibling of [`to_bytes`] for hot paths that
+/// encode many messages in a loop (the network transport encodes one
+/// message per frame): the scratch `Vec` grows to the high-water mark once
+/// and is reused forever after.
+pub fn encode_into<'a, T: Encode + ?Sized>(value: &T, scratch: &'a mut Vec<u8>) -> &'a [u8] {
+    scratch.clear();
+    value.encode(scratch);
+    scratch
+}
+
 /// Decodes a value from `bytes`, requiring the entire input to be consumed.
 ///
 /// # Errors
