@@ -166,6 +166,9 @@ pub fn fab_select(cfg: &Config, votes: &BTreeMap<ProcessId, FabSignedVote>) -> F
     if votes.len() < cfg.vote_quorum() {
         return FabSelection::NeedMore;
     }
+    // `Value`'s interior mutability is only its digest memo, which is
+    // excluded from Eq/Ord/Hash — the key ordering cannot shift.
+    #[allow(clippy::mutable_key_type)]
     let mut counts: BTreeMap<&Value, usize> = BTreeMap::new();
     for sv in votes.values() {
         if let Some(vd) = &sv.vote {

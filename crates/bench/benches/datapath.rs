@@ -24,6 +24,7 @@ fn ack(slot: u64) -> SlotMessage {
         inner: Message::Ack(AckMsg {
             value: Value::from_u64(7),
             view: View(1),
+            share: None,
         }),
     }
 }

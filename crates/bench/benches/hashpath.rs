@@ -1,0 +1,95 @@
+//! hashpath — sign/verify/cert-verify cost versus payload size.
+//!
+//! PR 5's digest-carried statements make every protocol signature operate
+//! on a fixed 41-byte `tag ‖ H(x) ‖ v` buffer, with `H(x)` memoized on the
+//! value. These benches pin the property the refactor claims: once a
+//! value's digest is warm, signing, verifying and certificate verification
+//! cost the **same** for an 8-byte label and a 1 KiB command batch, and a
+//! memoized re-verification (the redelivered-certificate path) does no HMAC
+//! work at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbft_core::certs::{CertCache, CommitCert};
+use fastbft_core::payload::{ack_payload, propose_payload};
+use fastbft_crypto::KeyDirectory;
+use fastbft_types::{Config, Value, View};
+
+const PAYLOADS: [usize; 2] = [8, 1024];
+
+/// A value of `size` bytes with its digest memo already warm — the steady
+/// state of the hot path (the memo is filled the first time any statement
+/// mentions the value).
+fn warm_value(size: usize) -> Value {
+    let x = Value::new(vec![0xAB; size]);
+    let _ = propose_payload(&x, View(1));
+    x
+}
+
+fn bench_sign(c: &mut Criterion) {
+    let (pairs, _) = KeyDirectory::generate(7, 1);
+    let mut group = c.benchmark_group("hashpath_sign");
+    for size in PAYLOADS {
+        let x = warm_value(size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &x, |b, x| {
+            b.iter(|| pairs[0].sign(&propose_payload(std::hint::black_box(x), View(1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let (pairs, dir) = KeyDirectory::generate(7, 1);
+    let mut group = c.benchmark_group("hashpath_verify");
+    for size in PAYLOADS {
+        let x = warm_value(size);
+        let sig = pairs[0].sign(&propose_payload(&x, View(1)));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &x, |b, x| {
+            b.iter(|| dir.verify(&propose_payload(std::hint::black_box(x), View(1)), &sig));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cert_verify(c: &mut Criterion) {
+    let cfg = Config::new(7, 2, 1).unwrap();
+    let (pairs, dir) = KeyDirectory::generate(7, 2);
+    let mut group = c.benchmark_group("hashpath_cert_verify");
+    for size in PAYLOADS {
+        let x = warm_value(size);
+        let stmt = ack_payload(&x, View(1));
+        // Never verified: clones of it carry no verification memo.
+        let pristine = CommitCert {
+            value: x.clone(),
+            view: View(1),
+            sigs: pairs[..cfg.slow_quorum()]
+                .iter()
+                .map(|p| p.sign(&stmt))
+                .collect(),
+        };
+        // Cold: every signature walks the HMAC engine (the clone per
+        // iteration is what keeps the memo cold; its cost is shared by both
+        // payload sizes, so the payload-independence comparison stands).
+        group.bench_function(BenchmarkId::new("cold", size), |b| {
+            b.iter(|| std::hint::black_box(pristine.clone()).verify(&cfg, &dir));
+        });
+        // Memoized: the certificate was verified once already.
+        let warmed = pristine.clone();
+        assert!(warmed.verify(&cfg, &dir));
+        group.bench_function(BenchmarkId::new("memoized", size), |b| {
+            b.iter(|| std::hint::black_box(&warmed).verify(&cfg, &dir));
+        });
+        // Redelivered: a freshly decoded copy (no memo) through the
+        // replica-level certificate cache.
+        let mut cache = CertCache::new();
+        assert!(pristine.clone().verify_cached(&cfg, &dir, &mut cache));
+        let redelivered: CommitCert =
+            fastbft_types::wire::from_bytes(&fastbft_types::wire::to_bytes(&pristine)).unwrap();
+        group.bench_function(BenchmarkId::new("redelivered_cached", size), |b| {
+            b.iter(|| std::hint::black_box(&redelivered).verify_cached(&cfg, &dir, &mut cache));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sign, bench_verify, bench_cert_verify);
+criterion_main!(benches);

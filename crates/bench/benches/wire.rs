@@ -14,6 +14,7 @@ fn bench_wire(c: &mut Criterion) {
     let ack = Message::Ack(AckMsg {
         value: x.clone(),
         view: View(3),
+        share: None,
     });
     let cert: SignatureSet = pairs[..3].iter().map(|p| p.sign(b"ca")).collect();
     let propose = Message::Propose(ProposeMsg {

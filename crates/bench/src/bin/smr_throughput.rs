@@ -48,6 +48,12 @@ const TRIALS: usize = 3;
 /// The committed PR-3 baseline this PR's pipeline is measured against:
 /// TCP loopback, n = 4, 8-byte commands, batch 1.
 const PR3_TCP_BATCH1_BASELINE: f64 = 6835.0;
+/// The committed PR-4 baselines for the protocol-hash-bound sweep points
+/// (n = 7, 1 KiB commands, TCP loopback) that PR 5's digest-carried
+/// statements attack: before hash-then-sign, every signature re-hashed the
+/// full value bytes, so these points were flat across batch sizes.
+const PR4_N7_1KIB_TCP_BATCH1_BASELINE: f64 = 367.0;
+const PR4_N7_1KIB_TCP_BATCH64_BASELINE: f64 = 438.0;
 
 fn simulated_throughput(n: usize, f: usize, t: usize, batch: usize, commands: u64) -> (u64, f64) {
     let cfg = Config::new(n, f, t).unwrap();
@@ -213,7 +219,7 @@ fn main() {
     if json {
         println!("{{");
         println!("  \"bench\": \"smr_throughput\",");
-        println!("  \"version\": 2,");
+        println!("  \"version\": 3,");
         println!(
             "  \"config\": {{\"commands\": {COMMANDS}, \"tick_us\": {}, \"trials\": {TRIALS}}},",
             TICK.as_micros()
@@ -222,6 +228,9 @@ fn main() {
             "  \"unit_note\": \"client commands per second until the last replica has applied all of them; best of {TRIALS} trials per configuration (shared-core CI runners have multi-x CPU swings)\","
         );
         println!("  \"baseline_pr3\": {{\"tcp_loopback_batch_1\": {PR3_TCP_BATCH1_BASELINE:.0}}},");
+        println!(
+            "  \"baseline_pr4\": {{\"n7_payload1024_tcp_batch_1\": {PR4_N7_1KIB_TCP_BATCH1_BASELINE:.0}, \"n7_payload1024_tcp_batch_64\": {PR4_N7_1KIB_TCP_BATCH64_BASELINE:.0}}},"
+        );
         println!("  \"transports\": {{");
         for (i, (kind, per_batch)) in results.iter().enumerate() {
             println!("    \"{}\": {{", kind.label());

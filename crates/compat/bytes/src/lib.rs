@@ -21,24 +21,31 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable contiguous slice of memory.
 ///
 /// Clones are reference bumps: the bytes themselves are stored once behind an
-/// [`Arc`], so two clones observe the same allocation.
+/// [`Arc`], so two clones observe the same allocation. The backing store is
+/// an `Arc<Vec<u8>>` (not `Arc<[u8]>`) so `From<Vec<u8>>` is a **move**, not
+/// a copy — the decode hot path builds a `Vec` per value and must not pay a
+/// second allocation+memcpy to make it shareable.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Bytes(Arc<[u8]>);
+pub struct Bytes(Arc<Vec<u8>>);
 
 impl Bytes {
     /// Creates a new empty `Bytes`.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes(Arc::new(Vec::new()))
     }
 
     /// Creates a `Bytes` holding a copy of `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes(Arc::new(data.to_vec()))
     }
 
-    /// Creates a `Bytes` from a static slice without additional bookkeeping.
+    /// Creates a `Bytes` holding a copy of the static slice.
+    ///
+    /// Unlike the real `bytes` crate, this shim copies: backing storage is
+    /// `Arc<Vec<u8>>` so that `From<Vec<u8>>` is a zero-copy move (the hot
+    /// path), which leaves no room for a borrowed-static representation.
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes(Arc::new(data.to_vec()))
     }
 
     /// Number of bytes contained.
@@ -93,7 +100,8 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        // A move: the Vec's allocation becomes the shared backing store.
+        Bytes(Arc::new(v))
     }
 }
 

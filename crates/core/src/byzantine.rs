@@ -13,7 +13,7 @@
 //! * silence and crashes are modeled by [`fastbft_sim::ScriptedActor::silent`]
 //!   and [`fastbft_sim::Simulation::schedule_crash`] respectively.
 
-use fastbft_crypto::{KeyDirectory, KeyPair, SignatureSet};
+use fastbft_crypto::{KeyDirectory, KeyPair, Signature, SignatureSet};
 use fastbft_sim::{Actor, Effects, SimDuration, TimerId};
 use fastbft_types::{Config, ProcessId, Value, View};
 
@@ -128,11 +128,24 @@ impl RandomByzantine {
         ProcessId(self.rng.gen_range(1..=n as u32))
     }
 
-    fn random_message(&mut self, _n: usize) -> Message {
+    fn random_message(&mut self, n: usize) -> Message {
         let value = self.random_value();
         let view = self.random_view();
         match self.rng.gen_range(0..8) {
-            0 => Message::Ack(AckMsg { value, view }),
+            0 => {
+                // Exercise the ack-carried share path too: no share, a
+                // valid own share, or a share whose claimed signer doesn't
+                // match the sender (receivers must drop that one).
+                let share = match self.rng.gen_range(0..3) {
+                    0 => None,
+                    1 => Some(self.keys.sign(&ack_payload(&value, view))),
+                    _ => Some(Signature::from_parts(
+                        self.random_target(n),
+                        *self.keys.sign(&ack_payload(&value, view)).tag(),
+                    )),
+                };
+                Message::Ack(AckMsg { value, view, share })
+            }
             1 => Message::Wish(WishMsg { view }),
             2 => {
                 let sig = self.keys.sign(&ack_payload(&value, view));

@@ -12,12 +12,46 @@
 //! * [`CommitCert`] — the paper's slow-path commit certificate:
 //!   `⌈(n+f+1)/2⌉` signature shares over `(ack, x, v)`.
 
-use fastbft_crypto::{KeyDirectory, KeyPair, Signature, SignatureSet};
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+use fastbft_crypto::{
+    sha256::Sha256, value_digest, Digest, KeyDirectory, KeyPair, Signature, SignatureSet,
+};
 use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
 use fastbft_types::{Config, ProcessId, Value, View};
 
-use crate::payload::{ack_payload, certack_payload, propose_payload, vote_payload};
+use crate::payload::{ack_payload, certack_payload, propose_payload, vote_payload, Statement};
 use crate::selection::{select, Outcome, SelectionError};
+
+thread_local! {
+    /// Reused encode scratch for vote statements and certificate
+    /// fingerprints: signing or validating a vote previously built a
+    /// throwaway `to_wire_bytes()` `Vec` per call — the hot paths here are
+    /// per-vote at every view change, so the allocation was pure overhead.
+    static ENCODE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The statement `φ_vote` signs for `vote` destined to `dest_view`,
+/// built through the reused thread-local scratch buffer.
+fn vote_statement(vote: &Vote, dest_view: View) -> Statement {
+    ENCODE_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        vote.encode(&mut buf);
+        vote_payload(&buf, dest_view)
+    })
+}
+
+/// SHA-256 of a value's canonical encoding, via the reused scratch buffer.
+fn encoded_digest(value: &impl Encode) -> Digest {
+    ENCODE_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        value.encode(&mut buf);
+        Sha256::digest_of(&buf)
+    })
+}
 
 /// Which progress-certificate construction the protocol uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -82,6 +116,113 @@ impl ProgressCert {
     pub fn wire_size(&self) -> usize {
         self.to_wire_bytes().len()
     }
+
+    /// [`ProgressCert::verify`] through a [`CertCache`]: a certificate that
+    /// already verified for `(x, v)` (e.g. re-delivered with a re-proposal,
+    /// or embedded in several votes) is recognized by fingerprint and does
+    /// no signature work.
+    pub fn verify_cached(
+        &self,
+        cfg: &Config,
+        dir: &KeyDirectory,
+        x: &Value,
+        v: View,
+        cache: &mut CertCache,
+    ) -> bool {
+        match self {
+            // The trivial certificate has nothing worth caching.
+            ProgressCert::Genesis => v.is_first(),
+            ProgressCert::Bounded(sigs) => {
+                let key = (
+                    CertKind::BoundedProgress,
+                    v,
+                    *value_digest(x),
+                    encoded_digest(sigs),
+                );
+                cache.check(key, || self.verify(cfg, dir, x, v))
+            }
+            ProgressCert::Naive(votes) => {
+                let key = (
+                    CertKind::NaiveProgress,
+                    v,
+                    *value_digest(x),
+                    encoded_digest(votes),
+                );
+                cache.check(key, || self.verify(cfg, dir, x, v))
+            }
+        }
+    }
+}
+
+/// Certificate kind discriminant for [`CertCache`] fingerprints.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum CertKind {
+    BoundedProgress,
+    NaiveProgress,
+    Commit,
+}
+
+/// Fingerprint of a successfully verified certificate: kind, view, value
+/// digest, and the digest of the certificate evidence's canonical encoding.
+///
+/// Hashing the evidence bytes (not just the signer set) is what makes the
+/// cache sound: a Byzantine peer re-sending a cert with the right signers
+/// but tampered signature tags produces a different fingerprint and is
+/// re-verified (and rejected) instead of riding an earlier cert's success.
+type CertFingerprint = (CertKind, View, Digest, Digest);
+
+/// Memo of certificates that have already verified **successfully**.
+///
+/// Commit certificates are broadcast by every process and re-delivered with
+/// every re-proposal and piggybacked vote, so the same `(view, value,
+/// evidence)` certificate reaches a replica many times; this cache turns
+/// each re-verification into one fingerprint hash (a few SHA-256 blocks
+/// over the signature tags) instead of a full multi-signer HMAC walk.
+/// Failures are never cached — garbage stays cheap to reject and cannot
+/// poison the memo — so every entry corresponds to a certificate that
+/// genuinely carried a quorum of valid signatures, which bounds the cache
+/// by real protocol traffic (a capacity backstop guards the pathological
+/// case anyway).
+#[derive(Debug, Default)]
+pub struct CertCache {
+    seen: HashSet<CertFingerprint>,
+}
+
+/// Backstop bound on [`CertCache`] entries; on overflow the memo resets
+/// (correctness is unaffected — certificates are simply re-verified).
+const CERT_CACHE_CAP: usize = 4096;
+
+impl CertCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CertCache::default()
+    }
+
+    /// Number of memoized certificates (for tests and monitoring).
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Returns `true` if `key` is memoized; otherwise runs `verify` and
+    /// memoizes a success.
+    fn check(&mut self, key: CertFingerprint, verify: impl FnOnce() -> bool) -> bool {
+        if self.seen.contains(&key) {
+            return true;
+        }
+        let ok = verify();
+        if ok {
+            if self.seen.len() >= CERT_CACHE_CAP {
+                self.seen.clear();
+            }
+            self.seen.insert(key);
+        }
+        ok
+    }
 }
 
 impl Encode for ProgressCert {
@@ -131,6 +272,20 @@ impl CommitCert {
     pub fn verify(&self, cfg: &Config, dir: &KeyDirectory) -> bool {
         self.sigs
             .verify(&ack_payload(&self.value, self.view), dir, cfg.slow_quorum())
+    }
+
+    /// [`CommitCert::verify`] through a [`CertCache`]: the same certificate
+    /// re-delivered (every process broadcasts its `Commit`, and votes
+    /// piggyback the latest one) is recognized by fingerprint instead of
+    /// re-walking its signature quorum.
+    pub fn verify_cached(&self, cfg: &Config, dir: &KeyDirectory, cache: &mut CertCache) -> bool {
+        let key = (
+            CertKind::Commit,
+            self.view,
+            *value_digest(&self.value),
+            encoded_digest(&self.sigs),
+        );
+        cache.check(key, || self.verify(cfg, dir))
     }
 
     /// Encoded size in bytes.
@@ -188,7 +343,7 @@ fastbft_types::impl_wire_struct!(SignedVote { voter, vote, sig });
 impl SignedVote {
     /// Creates and signs a vote destined for the leader of `dest_view`.
     pub fn sign(keypair: &KeyPair, vote: Vote, dest_view: View) -> Self {
-        let payload = vote_payload(&vote.to_wire_bytes(), dest_view);
+        let payload = vote_statement(&vote, dest_view);
         SignedVote {
             voter: keypair.id(),
             vote,
@@ -203,10 +358,34 @@ impl SignedVote {
     /// `x` safe in `u`, and any piggybacked commit certificate is valid and
     /// no newer than `u`.
     pub fn is_valid(&self, cfg: &Config, dir: &KeyDirectory, dest_view: View) -> bool {
+        self.validate(cfg, dir, dest_view, None)
+    }
+
+    /// [`SignedVote::is_valid`] with the embedded certificates checked
+    /// through a [`CertCache`] — the same commit certificate is typically
+    /// piggybacked by many voters, and a leader validates each vote both on
+    /// arrival and (as a CertRequest verifier would) in snapshots.
+    pub fn is_valid_cached(
+        &self,
+        cfg: &Config,
+        dir: &KeyDirectory,
+        dest_view: View,
+        cache: &mut CertCache,
+    ) -> bool {
+        self.validate(cfg, dir, dest_view, Some(cache))
+    }
+
+    fn validate(
+        &self,
+        cfg: &Config,
+        dir: &KeyDirectory,
+        dest_view: View,
+        mut cache: Option<&mut CertCache>,
+    ) -> bool {
         if self.sig.signer != self.voter {
             return false;
         }
-        let payload = vote_payload(&self.vote.to_wire_bytes(), dest_view);
+        let payload = vote_statement(&self.vote, dest_view);
         if !dir.verify(&payload, &self.sig) {
             return false;
         }
@@ -222,11 +401,24 @@ impl SignedVote {
         if !dir.verify(&propose_payload(&vd.value, vd.view), &vd.leader_sig) {
             return false;
         }
-        if !vd.progress_cert.verify(cfg, dir, &vd.value, vd.view) {
+        let pc_ok = match cache.as_deref_mut() {
+            Some(c) => vd
+                .progress_cert
+                .verify_cached(cfg, dir, &vd.value, vd.view, c),
+            None => vd.progress_cert.verify(cfg, dir, &vd.value, vd.view),
+        };
+        if !pc_ok {
             return false;
         }
         if let Some(cc) = &vd.commit_cert {
-            if cc.view > vd.view || !cc.verify(cfg, dir) {
+            if cc.view > vd.view {
+                return false;
+            }
+            let cc_ok = match cache {
+                Some(c) => cc.verify_cached(cfg, dir, c),
+                None => cc.verify(cfg, dir),
+            };
+            if !cc_ok {
                 return false;
             }
         }
@@ -409,6 +601,85 @@ mod tests {
             ..SignedVote::sign(&pairs[0], None, View(2))
         };
         assert!(!sv2.is_valid(&cfg, &dir, View(2)));
+    }
+
+    #[test]
+    fn cert_cache_makes_redelivered_certs_free() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(5);
+        let payload = ack_payload(&x, View(1));
+        let cc = CommitCert {
+            value: x.clone(),
+            view: View(1),
+            sigs: pairs[..3].iter().map(|p| p.sign(&payload)).collect(),
+        };
+        let mut cache = CertCache::new();
+        assert!(cc.verify_cached(&cfg, &dir, &mut cache));
+        assert_eq!(cache.len(), 1);
+        // A re-delivered copy arrives freshly decoded (no SignatureSet
+        // memo): the replica-level cache must still skip every HMAC.
+        let redelivered: CommitCert = fastbft_types::wire::from_bytes(&cc.to_wire_bytes()).unwrap();
+        let before = dir.verifications_performed();
+        assert!(redelivered.verify_cached(&cfg, &dir, &mut cache));
+        assert_eq!(dir.verifications_performed(), before);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cert_cache_reverifies_tampered_evidence() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(5);
+        let payload = ack_payload(&x, View(1));
+        let cc = CommitCert {
+            value: x.clone(),
+            view: View(1),
+            sigs: pairs[..3].iter().map(|p| p.sign(&payload)).collect(),
+        };
+        let mut cache = CertCache::new();
+        assert!(cc.verify_cached(&cfg, &dir, &mut cache));
+        // Same (view, value, signer set) but one forged tag: the evidence
+        // fingerprint differs, so the cache must NOT vouch for it.
+        let mut forged = cc.clone();
+        forged.sigs = cc
+            .sigs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == 0 {
+                    Signature::from_parts(s.signer, [0u8; 32])
+                } else {
+                    s.clone()
+                }
+            })
+            .collect();
+        let fresh: CommitCert = fastbft_types::wire::from_bytes(&forged.to_wire_bytes()).unwrap();
+        assert!(!fresh.verify_cached(&cfg, &dir, &mut cache));
+        // Failures are not memoized.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn progress_cert_cache_hits_and_misses() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(1);
+        let v = View(3);
+        let set: SignatureSet = pairs[..2]
+            .iter()
+            .map(|p| p.sign(&certack_payload(&x, v)))
+            .collect();
+        let cert = ProgressCert::Bounded(set);
+        let mut cache = CertCache::new();
+        assert!(cert.verify_cached(&cfg, &dir, &x, v, &mut cache));
+        let fresh: ProgressCert = fastbft_types::wire::from_bytes(&cert.to_wire_bytes()).unwrap();
+        let before = dir.verifications_performed();
+        assert!(fresh.verify_cached(&cfg, &dir, &x, v, &mut cache));
+        assert_eq!(dir.verifications_performed(), before);
+        // The same evidence must not certify a different value or view.
+        assert!(!fresh.verify_cached(&cfg, &dir, &Value::from_u64(2), v, &mut cache));
+        assert!(!fresh.verify_cached(&cfg, &dir, &x, View(4), &mut cache));
+        // Genesis stays view-1-only through the cache.
+        assert!(ProgressCert::Genesis.verify_cached(&cfg, &dir, &x, View(1), &mut cache));
+        assert!(!ProgressCert::Genesis.verify_cached(&cfg, &dir, &x, View(2), &mut cache));
     }
 
     #[test]

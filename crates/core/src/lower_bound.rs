@@ -162,10 +162,12 @@ pub fn run_attack(n: usize, seed: u64) -> AttackOutcome {
     let ack_one_v1 = Message::Ack(AckMsg {
         value: one.clone(),
         view: v1,
+        share: None,
     });
     let ack_zero_v2 = Message::Ack(AckMsg {
         value: zero.clone(),
         view: v2,
+        share: None,
     });
     let p_script = ScriptedActor::silent()
         .with_multicast_at(SimTime::ZERO, p1_group, propose_zero.clone())
@@ -206,6 +208,7 @@ pub fn run_attack(n: usize, seed: u64) -> AttackOutcome {
             Message::Ack(AckMsg {
                 value: zero.clone(),
                 view: v1,
+                share: None,
             }),
         )
         .with_send_at(

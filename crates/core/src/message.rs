@@ -36,20 +36,32 @@ fastbft_types::impl_wire_struct!(ProposeMsg {
     sig
 });
 
-/// `ack(x̂, v)`: sent to every process after accepting a proposal; `n − t`
-/// of them decide the value.
+/// `ack(x̂, v)` with the slow-path share riding along: sent to every
+/// process after accepting a proposal; `n − t` acks decide the value.
+///
+/// Appendix A.1 has the signature share *accompany* each ack; it was
+/// historically a separate [`SigShareMsg`] broadcast so that signing the
+/// (arbitrarily large) statement never delayed the fast path. Digest-
+/// carried statements removed that reason — `φ_ack` now signs 41 fixed
+/// bytes — so the share travels inside the ack and the value's bytes cross
+/// the wire once per ack instead of twice. [`SigShareMsg`] remains for
+/// share-only (re)transmission and fault-injection drivers; receivers
+/// treat an ack-carried share and a standalone share identically.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AckMsg {
     /// The acknowledged value.
     pub value: Value,
     /// The view.
     pub view: View,
+    /// `φ_ack = sign_q((ack, x, v))`, present when the sender runs the
+    /// slow path.
+    pub share: Option<Signature>,
 }
-fastbft_types::impl_wire_struct!(AckMsg { value, view });
+fastbft_types::impl_wire_struct!(AckMsg { value, view, share });
 
-/// `sig(φ_ack)`: the slow-path signature share sent alongside each ack
-/// (Appendix A.1 — a separate message so signing never delays the fast
-/// path).
+/// `sig(φ_ack)`: a standalone slow-path signature share (see [`AckMsg`] —
+/// honest processes piggyback shares on their acks; this message remains
+/// the share-only form).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SigShareMsg {
     /// The acknowledged value.
@@ -239,6 +251,7 @@ mod tests {
             Message::Ack(AckMsg {
                 value: x.clone(),
                 view: v,
+                share: None,
             }),
             Message::SigShare(SigShareMsg {
                 value: x.clone(),
@@ -285,6 +298,7 @@ mod tests {
             Message::Ack(AckMsg {
                 value: x.clone(),
                 view: View(1),
+                share: None,
             })
             .kind(),
             Message::Wish(WishMsg { view: View(1) }).kind(),

@@ -6,9 +6,38 @@
 //! (e.g. an ack share can't pose as a CertAck), and including the view binds
 //! every statement to its view, which is what makes vote replay across views
 //! impossible (§3.2).
+//!
+//! # Digest-carried statements (hash-then-sign)
+//!
+//! Statements embed the SHA-256 **digest** of the value (or vote encoding),
+//! not the bytes themselves: every statement is the fixed-size
+//! `tag ‖ H(m) ‖ v` ([`Statement`], [`STATEMENT_LEN`] bytes on the stack —
+//! no per-call allocation). This is the standard hash-then-sign shape (PBFT
+//! signs request digests; HotStuff-family certificates verify in O(sigs),
+//! not O(sigs × payload)): signing and verifying cost the same for an
+//! 8-byte label and a 1 KiB command batch, because the value is hashed once
+//! per process ([`Value::digest_with`] memoizes it) while each signature
+//! only ever touches the 32-byte digest. The paper's §3.2 replay and
+//! domain-separation arguments carry over by collision resistance of
+//! SHA-256: two distinct values (or votes) would need colliding digests to
+//! alias a statement.
+//!
+//! **Compatibility note:** switching the signed bytes from
+//! `tag ‖ m ‖ v` to `tag ‖ H(m) ‖ v` changes every signature and MAC-based
+//! certificate **protocol-wide** — processes on the two formats cannot
+//! validate each other's signatures. All in-tree signers and verifiers go
+//! through this module, so the workspace switches atomically; anything
+//! persisting or replaying signed traffic across versions would need a
+//! protocol version bump.
 
-use fastbft_types::wire::Encode;
+use fastbft_crypto::{sha256::Sha256, value_digest, Digest};
 use fastbft_types::{Value, View};
+
+/// Byte length of every signed statement: 1 domain tag + 32 digest + 8 view.
+pub const STATEMENT_LEN: usize = 41;
+
+/// A fixed-size signed statement `tag ‖ H(m) ‖ v`, built on the stack.
+pub type Statement = [u8; STATEMENT_LEN];
 
 /// Domain tags for signed statements.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -24,52 +53,43 @@ enum Domain {
     Ack = 4,
 }
 
-fn tagged(domain: Domain, build: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
-    let mut buf = vec![domain as u8];
-    build(&mut buf);
-    buf
+fn statement(domain: Domain, digest: &Digest, v: View) -> Statement {
+    let mut s = [0u8; STATEMENT_LEN];
+    s[0] = domain as u8;
+    s[1..33].copy_from_slice(digest);
+    s[33..41].copy_from_slice(&v.0.to_be_bytes());
+    s
 }
 
-/// Bytes of the statement `(propose, x, v)` (signed by `leader(v)` → `τ`).
-pub fn propose_payload(x: &Value, v: View) -> Vec<u8> {
-    tagged(Domain::Propose, |buf| {
-        x.encode(buf);
-        v.encode(buf);
-    })
+/// Bytes of the statement `(propose, H(x), v)` (signed by `leader(v)` → `τ`).
+pub fn propose_payload(x: &Value, v: View) -> Statement {
+    statement(Domain::Propose, value_digest(x), v)
 }
 
-/// Bytes of the statement `(vote, vote_bytes, v)` (signed by the voter →
+/// Bytes of the statement `(vote, H(vote_bytes), v)` (signed by the voter →
 /// `φ_vote`). `vote_bytes` is the canonical encoding of the vote
 /// (`Option<VoteData>`), produced by the caller; this function is kept
 /// byte-oriented to avoid a circular dependency with the vote types.
-pub fn vote_payload(vote_bytes: &[u8], v: View) -> Vec<u8> {
-    tagged(Domain::Vote, |buf| {
-        vote_bytes.encode(buf);
-        v.encode(buf);
-    })
+pub fn vote_payload(vote_bytes: &[u8], v: View) -> Statement {
+    statement(Domain::Vote, &Sha256::digest_of(vote_bytes), v)
 }
 
-/// Bytes of the statement `(CertAck, x, v)` (signed by certifiers → `φ_ca`;
-/// `f + 1` of these form a progress certificate).
-pub fn certack_payload(x: &Value, v: View) -> Vec<u8> {
-    tagged(Domain::CertAck, |buf| {
-        x.encode(buf);
-        v.encode(buf);
-    })
+/// Bytes of the statement `(CertAck, H(x), v)` (signed by certifiers →
+/// `φ_ca`; `f + 1` of these form a progress certificate).
+pub fn certack_payload(x: &Value, v: View) -> Statement {
+    statement(Domain::CertAck, value_digest(x), v)
 }
 
-/// Bytes of the statement `(ack, x, v)` (signed share sent alongside each
+/// Bytes of the statement `(ack, H(x), v)` (signed share sent alongside each
 /// ack; `⌈(n+f+1)/2⌉` of these form a commit certificate, Appendix A).
-pub fn ack_payload(x: &Value, v: View) -> Vec<u8> {
-    tagged(Domain::Ack, |buf| {
-        x.encode(buf);
-        v.encode(buf);
-    })
+pub fn ack_payload(x: &Value, v: View) -> Statement {
+    statement(Domain::Ack, value_digest(x), v)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastbft_types::wire::Encode;
 
     #[test]
     fn domains_never_collide() {
@@ -106,6 +126,20 @@ mod tests {
         assert_ne!(
             vote_payload(&vote_bytes, View(5)),
             vote_payload(&vote_bytes, View(6))
+        );
+    }
+
+    #[test]
+    fn statements_are_fixed_size_regardless_of_payload() {
+        // The whole point of digest-carried statements: a 1 KiB value signs
+        // the same 41 bytes as an 8-byte one.
+        let small = Value::from_u64(1);
+        let large = Value::new(vec![0xAB; 1024]);
+        assert_eq!(propose_payload(&small, View(1)).len(), STATEMENT_LEN);
+        assert_eq!(propose_payload(&large, View(1)).len(), STATEMENT_LEN);
+        assert_ne!(
+            propose_payload(&small, View(1)),
+            propose_payload(&large, View(1))
         );
     }
 }

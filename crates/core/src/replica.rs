@@ -22,11 +22,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use fastbft_crypto::{KeyDirectory, KeyPair, SignatureSet};
+use fastbft_crypto::{KeyDirectory, KeyPair, Signature, SignatureSet};
 use fastbft_sim::{Actor, Effects, SimDuration, TimerId};
 use fastbft_types::{Config, ProcessId, Value, View};
 
-use crate::certs::{CertMode, CommitCert, ProgressCert, SignedVote, Vote, VoteData};
+use crate::certs::{CertCache, CertMode, CommitCert, ProgressCert, SignedVote, Vote, VoteData};
 use crate::message::{
     AckMsg, CertAckMsg, CertRequestMsg, CommitMsg, Message, ProposeMsg, SigShareMsg, VoteMsg,
     WishMsg,
@@ -115,7 +115,39 @@ pub struct Replica {
     my_wish: Option<View>,
     /// Timer generation; stale timers are ignored.
     timer_gen: u64,
+
+    /// Canonical instances of values seen in messages. Every statement
+    /// embeds the value's memoized digest, but a value decoded from the
+    /// wire arrives as a fresh allocation with a cold cache — interning
+    /// swaps it for the first-seen instance so the bytes are hashed once
+    /// per replica (and duplicate copies of a hot value share storage).
+    ///
+    /// Values land here **before** validation, so the set is bounded
+    /// against Byzantine value spray two ways: a count *and* total-bytes
+    /// cap (beyond either, new values pass through uninterned), and a
+    /// full reset at every view change — hostile garbage is held for at
+    /// most one view, and honest traffic re-warms at one hash per value.
+    interned: BTreeSet<Value>,
+    /// Total bytes held by `interned` (see [`INTERN_BYTES_CAP`]).
+    interned_bytes: usize,
+    /// Memo of certificates already verified (commit certs are broadcast
+    /// by everyone and piggybacked on votes; progress certs ride every
+    /// re-proposal).
+    cert_cache: CertCache,
 }
+
+/// Backstop bound on the value interner; beyond it new values pass through
+/// uninterned (correctness unaffected — their digests are just per-copy).
+/// Correct executions see a handful of distinct values per view, so honest
+/// traffic sits far below both caps.
+const INTERN_CAP: usize = 1024;
+
+/// Total-bytes bound on the value interner: values are interned from
+/// messages *before* signature checks, so without a byte cap a Byzantine
+/// peer could pin `INTERN_CAP × MAX_FRAME_LEN` of garbage. With it (plus
+/// the per-view reset in `enter_view`) hostile spray is bounded to a few
+/// MiB for at most one view.
+const INTERN_BYTES_CAP: usize = 4 << 20;
 
 impl Replica {
     /// Creates a replica with default options.
@@ -156,6 +188,9 @@ impl Replica {
             wishes: BTreeMap::new(),
             my_wish: None,
             timer_gen: 0,
+            interned: BTreeSet::new(),
+            interned_bytes: 0,
+            cert_cache: CertCache::new(),
         }
     }
 
@@ -185,6 +220,20 @@ impl Replica {
     }
 
     // -- internals -----------------------------------------------------------
+
+    /// Returns the canonical instance of `value` (see the `interned` field).
+    fn intern(&mut self, value: Value) -> Value {
+        if let Some(canonical) = self.interned.get(&value) {
+            return canonical.clone();
+        }
+        if self.interned.len() < INTERN_CAP
+            && self.interned_bytes.saturating_add(value.len()) <= INTERN_BYTES_CAP
+        {
+            self.interned_bytes += value.len();
+            self.interned.insert(value.clone());
+        }
+        value
+    }
 
     fn timeout_for(&self, view: View) -> SimDuration {
         // Doubling timeouts: after GST some view's timeout exceeds the time a
@@ -228,6 +277,11 @@ impl Replica {
         debug_assert!(v > self.view);
         self.view = v;
         self.leader = None;
+        // Reset the interner: any Byzantine garbage it absorbed is released
+        // here, and the handful of honest hot values re-warm at one hash
+        // each (their clones elsewhere keep their memoized digests).
+        self.interned.clear();
+        self.interned_bytes = 0;
         self.arm_timer(fx);
 
         // Send our vote to the new leader (§3.2: "Whenever a correct process
@@ -277,18 +331,18 @@ impl Replica {
             leader_sig: p.sig,
             commit_cert: None,
         });
+        // The slow-path share rides inside the ack (one copy of the value
+        // on the wire, not two): signing is 41 fixed bytes now, so it no
+        // longer needs the separate broadcast that kept it off the fast
+        // path (see `AckMsg`).
+        let share = self
+            .slow_path
+            .then(|| self.keys.sign(&ack_payload(&p.value, p.view)));
         fx.broadcast(Message::Ack(AckMsg {
-            value: p.value.clone(),
+            value: p.value,
             view: p.view,
+            share,
         }));
-        if self.slow_path {
-            let share = self.keys.sign(&ack_payload(&p.value, p.view));
-            fx.broadcast(Message::SigShare(SigShareMsg {
-                value: p.value,
-                view: p.view,
-                sig: share,
-            }));
-        }
     }
 
     fn on_propose(&mut self, from: ProcessId, p: ProposeMsg, fx: &mut Effects<Message>) {
@@ -303,7 +357,10 @@ impl Replica {
         if !self.dir.verify(&propose_payload(&p.value, p.view), &p.sig) {
             return;
         }
-        if !p.cert.verify(&self.cfg, &self.dir, &p.value, p.view) {
+        if !p
+            .cert
+            .verify_cached(&self.cfg, &self.dir, &p.value, p.view, &mut self.cert_cache)
+        {
             return;
         }
         if p.view > self.view {
@@ -317,6 +374,9 @@ impl Replica {
     }
 
     fn on_ack(&mut self, from: ProcessId, a: AckMsg, fx: &mut Effects<Message>) {
+        if let Some(sig) = a.share {
+            self.on_share(from, a.value.clone(), a.view, sig, fx);
+        }
         let senders = self.ack_tally.entry((a.view, a.value.clone())).or_default();
         senders.insert(from);
         if senders.len() >= self.cfg.fast_quorum() {
@@ -326,20 +386,36 @@ impl Replica {
     }
 
     fn on_sig_share(&mut self, from: ProcessId, s: SigShareMsg, fx: &mut Effects<Message>) {
+        self.on_share(from, s.value, s.view, s.sig, fx);
+    }
+
+    /// Handles one slow-path share `φ_ack`, whether it rode inside an ack
+    /// or arrived as a standalone [`SigShareMsg`].
+    fn on_share(
+        &mut self,
+        from: ProcessId,
+        value: Value,
+        view: View,
+        sig: Signature,
+        fx: &mut Effects<Message>,
+    ) {
         if !self.slow_path {
             return;
         }
-        if s.sig.signer != from || !self.dir.verify(&ack_payload(&s.value, s.view), &s.sig) {
+        let payload = ack_payload(&value, view);
+        if sig.signer != from || !self.dir.verify(&payload, &sig) {
             return;
         }
-        let key = (s.view, s.value.clone());
+        let key = (view, value);
         let shares = self.share_tally.entry(key.clone()).or_default();
-        shares.insert(s.sig);
+        // The share just verified over `payload`: record that, so verifying
+        // the assembled commit certificate re-does none of the HMAC work.
+        shares.insert_verified(sig, &payload);
         if shares.len() >= self.cfg.slow_quorum() && !self.commit_sent.contains(&key) {
             self.commit_sent.insert(key.clone());
             let cert = CommitCert {
-                value: s.value,
-                view: s.view,
+                value: key.1.clone(),
+                view,
                 sigs: self.share_tally[&key].clone(),
             };
             self.store_cc(cert.clone());
@@ -361,7 +437,10 @@ impl Replica {
         if !self.slow_path {
             return;
         }
-        if !c.cert.verify(&self.cfg, &self.dir) {
+        if !c
+            .cert
+            .verify_cached(&self.cfg, &self.dir, &mut self.cert_cache)
+        {
             return;
         }
         self.store_cc(c.cert.clone());
@@ -383,7 +462,10 @@ impl Replica {
         if v.view < self.view && self.cfg.leader(v.view) != self.id {
             return; // stale and not ours to lead
         }
-        if !v.vote.is_valid(&self.cfg, &self.dir, v.view) {
+        if !v
+            .vote
+            .is_valid_cached(&self.cfg, &self.dir, v.view, &mut self.cert_cache)
+        {
             return;
         }
         if self.cfg.leader(v.view) != self.id {
@@ -421,8 +503,9 @@ impl Replica {
                 ls.selected = Some(value.clone());
                 ls.snapshot = snapshot.clone();
                 ls.requested = true;
+                let payload = certack_payload(&value, view);
                 ls.certacks
-                    .insert(self.keys.sign(&certack_payload(&value, view)));
+                    .insert_verified(self.keys.sign(&payload), &payload);
                 let targets: Vec<ProcessId> = self
                     .cfg
                     .processes()
@@ -490,7 +573,7 @@ impl Replica {
         }
         let mut map = BTreeMap::new();
         for sv in &req.votes {
-            if !sv.is_valid(&self.cfg, &self.dir, req.view) {
+            if !sv.is_valid_cached(&self.cfg, &self.dir, req.view, &mut self.cert_cache) {
                 return;
             }
             if map.insert(sv.voter, sv.clone()).is_some() {
@@ -530,7 +613,9 @@ impl Replica {
         {
             return;
         }
-        ls.certacks.insert(ack.sig);
+        // Verified just above: pre-memoize it in the assembling certificate.
+        ls.certacks
+            .insert_verified(ack.sig, &certack_payload(&ack.value, ack.view));
         self.try_propose_certified(fx);
     }
 
@@ -600,14 +685,36 @@ impl Actor<Message> for Replica {
     }
 
     fn on_message(&mut self, from: ProcessId, msg: Message, fx: &mut Effects<Message>) {
+        // Swap each carried value for its canonical interned instance
+        // before handling: statement building needs the value digest, and
+        // interning is what makes that digest memoized per replica rather
+        // than recomputed for every decoded copy.
         match msg {
-            Message::Propose(p) => self.on_propose(from, p, fx),
-            Message::Ack(a) => self.on_ack(from, a, fx),
-            Message::SigShare(s) => self.on_sig_share(from, s, fx),
-            Message::Commit(c) => self.on_commit(from, c, fx),
+            Message::Propose(mut p) => {
+                p.value = self.intern(p.value);
+                self.on_propose(from, p, fx);
+            }
+            Message::Ack(mut a) => {
+                a.value = self.intern(a.value);
+                self.on_ack(from, a, fx);
+            }
+            Message::SigShare(mut s) => {
+                s.value = self.intern(s.value);
+                self.on_sig_share(from, s, fx);
+            }
+            Message::Commit(mut c) => {
+                c.cert.value = self.intern(c.cert.value);
+                self.on_commit(from, c, fx);
+            }
             Message::Vote(v) => self.on_vote(from, v, fx),
-            Message::CertRequest(r) => self.on_cert_request(from, r, fx),
-            Message::CertAck(a) => self.on_cert_ack(from, a, fx),
+            Message::CertRequest(mut r) => {
+                r.value = self.intern(r.value);
+                self.on_cert_request(from, r, fx);
+            }
+            Message::CertAck(mut a) => {
+                a.value = self.intern(a.value);
+                self.on_cert_ack(from, a, fx);
+            }
             Message::Wish(w) => self.on_wish(from, w, fx),
         }
     }
@@ -743,6 +850,7 @@ mod tests {
                 Message::Ack(AckMsg {
                     value: x.clone(),
                     view: View::FIRST,
+                    share: None,
                 }),
                 &mut buf,
             );
@@ -763,6 +871,7 @@ mod tests {
                 Message::Ack(AckMsg {
                     value: x.clone(),
                     view: View::FIRST,
+                    share: None,
                 }),
                 &mut buf,
             );
@@ -781,6 +890,7 @@ mod tests {
                 Message::Ack(AckMsg {
                     value: Value::from_u64(val),
                     view: View::FIRST,
+                    share: None,
                 }),
                 &mut buf,
             );
@@ -976,7 +1086,8 @@ mod tests {
         assert_eq!(
             Message::Ack(AckMsg {
                 value: x.clone(),
-                view: View(1)
+                view: View(1),
+                share: None,
             })
             .kind(),
             "ack"
@@ -991,5 +1102,35 @@ mod tests {
             .kind(),
             "propose"
         );
+    }
+
+    /// The interner absorbs unvalidated message values, so Byzantine value
+    /// spray must be bounded by bytes (not just count) and released at the
+    /// next view change.
+    #[test]
+    fn interner_is_byte_bounded_and_resets_on_view_change() {
+        let (cfg, pairs, dir) = fixture(4, 1, 1);
+        let mut r = replica(&cfg, &pairs, &dir, 0, 1);
+        // Spray large distinct values: interned bytes must never exceed the
+        // cap even though the count cap is far away.
+        let big = 1 << 20; // 1 MiB each
+        for i in 0..16u8 {
+            r.intern(Value::new(vec![i; big]));
+        }
+        assert!(r.interned_bytes <= INTERN_BYTES_CAP);
+        assert!(r.interned.len() < 16, "byte cap did not bite");
+        // Values beyond the cap still pass through unharmed.
+        let v = Value::new(vec![0xEE; big]);
+        assert_eq!(r.intern(v.clone()), v);
+        // A view change releases everything.
+        let mut buf = fx(1, 4);
+        r.enter_view(View(2), &mut buf);
+        assert!(r.interned.is_empty());
+        assert_eq!(r.interned_bytes, 0);
+        // …and the interner works again afterwards.
+        let w = Value::from_u64(9);
+        r.intern(w.clone());
+        assert_eq!(r.interned.len(), 1);
+        assert_eq!(r.interned_bytes, 8);
     }
 }

@@ -191,6 +191,9 @@ pub fn select(
         }
 
         // §3.2 case 1 / Appendix A.2 case 2: f + t votes for one value at w.
+        // `Value`'s interior mutability is only its digest memo, which is
+        // excluded from Eq/Ord/Hash — the key ordering cannot shift.
+        #[allow(clippy::mutable_key_type)]
         let mut counts: BTreeMap<&Value, usize> = BTreeMap::new();
         for (_, vd) in non_nil.iter().filter(|(_, vd)| vd.view == w) {
             *counts.entry(&vd.value).or_insert(0) += 1;

@@ -70,8 +70,18 @@ impl HmacEngine {
 
     /// Computes `HMAC-SHA256(key, message)` from the precomputed midstates.
     pub fn mac(&self, message: &[u8]) -> Digest {
+        self.mac_parts(&[message])
+    }
+
+    /// [`HmacEngine::mac`] over the concatenation of `parts`, streamed
+    /// without materializing it — the frame hot path MACs
+    /// `header ‖ payload` and previously copied the (multi-KiB) payload
+    /// into a preimage buffer per frame just to produce one slice.
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> Digest {
         let mut inner = self.inner0.clone();
-        inner.update(message);
+        for part in parts {
+            inner.update(part);
+        }
         let inner_digest = inner.finalize();
         let mut outer = self.outer0.clone();
         outer.update(&inner_digest);
@@ -166,6 +176,22 @@ mod tests {
             hex(&hmac_sha256(&key, msg)),
             "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
         );
+    }
+
+    /// The streamed multi-part MAC must equal the contiguous one for every
+    /// split — the frame hot path relies on `header ‖ payload` parts
+    /// producing exactly the classic preimage MAC.
+    #[test]
+    fn mac_parts_equals_contiguous() {
+        let engine = HmacEngine::new(b"key");
+        let msg: Vec<u8> = (0..257u32).map(|i| (i % 251) as u8).collect();
+        let whole = engine.mac(&msg);
+        for split in [0, 1, 44, 63, 64, 65, 128, msg.len()] {
+            let (a, b) = msg.split_at(split);
+            assert_eq!(engine.mac_parts(&[a, b]), whole, "split {split}");
+        }
+        assert_eq!(engine.mac_parts(&[&msg]), whole);
+        assert_eq!(engine.mac_parts(&[]), engine.mac(b""));
     }
 
     #[test]

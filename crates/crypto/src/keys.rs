@@ -1,6 +1,7 @@
 //! Per-process keys, signatures and the verification directory.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
@@ -108,6 +109,15 @@ impl KeyPair {
             tag: self.engine.mac(message),
         }
     }
+
+    /// Signs the concatenation of `parts` without materializing it (the
+    /// per-frame hot path — see [`HmacEngine::mac_parts`]).
+    pub fn sign_parts(&self, parts: &[&[u8]]) -> Signature {
+        Signature {
+            signer: self.id,
+            tag: self.engine.mac_parts(parts),
+        }
+    }
 }
 
 /// The verification directory: maps each process id to its verification key.
@@ -122,6 +132,12 @@ impl KeyPair {
 #[derive(Clone, Debug)]
 pub struct KeyDirectory {
     engines: Arc<Vec<HmacEngine>>,
+    /// MAC computations performed by [`KeyDirectory::verify`]; shared by
+    /// clones. The verification-memoization layers (`SignatureSet`'s
+    /// per-signer memo, `fastbft_core`'s certificate cache) are specified
+    /// as "the HMAC work happens once" — this counter is what lets tests
+    /// assert that, per directory, without a process-global.
+    verifications: Arc<AtomicU64>,
 }
 
 impl KeyDirectory {
@@ -145,8 +161,21 @@ impl KeyDirectory {
             pairs,
             KeyDirectory {
                 engines: Arc::new(engines),
+                verifications: Arc::new(AtomicU64::new(0)),
             },
         )
+    }
+
+    /// Number of MAC computations [`verify`](KeyDirectory::verify) has
+    /// performed through this directory (clones share the counter). Tests
+    /// diff this around a call to prove a memoization layer skipped the
+    /// HMAC work.
+    ///
+    /// Maintained in **debug builds only**: in release the counter stays 0,
+    /// so the per-frame verify hot path doesn't bounce a shared cache line
+    /// between reader threads for test-only instrumentation.
+    pub fn verifications_performed(&self) -> u64 {
+        self.verifications.load(Ordering::Relaxed)
     }
 
     /// Number of processes the directory knows about.
@@ -162,6 +191,13 @@ impl KeyDirectory {
     /// Verifies that `sig` is a valid signature by `sig.signer` over
     /// `message`. Unknown signers verify as `false`.
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        self.verify_parts(&[message], sig)
+    }
+
+    /// [`KeyDirectory::verify`] over the concatenation of `parts` without
+    /// materializing it (the per-frame hot path — see
+    /// [`HmacEngine::mac_parts`]).
+    pub fn verify_parts(&self, parts: &[&[u8]], sig: &Signature) -> bool {
         let Some(engine) = self
             .engines
             .get(sig.signer.0.wrapping_sub(1) as usize)
@@ -169,7 +205,11 @@ impl KeyDirectory {
         else {
             return false;
         };
-        digest_eq(&engine.mac(message), &sig.tag)
+        // Test-only instrumentation (see `verifications_performed`): not
+        // worth a shared atomic on the per-frame hot path in release.
+        #[cfg(debug_assertions)]
+        self.verifications.fetch_add(1, Ordering::Relaxed);
+        digest_eq(&engine.mac_parts(parts), &sig.tag)
     }
 
     /// Verifies a batch, returning `true` only if *all* signatures are valid

@@ -34,7 +34,10 @@
 //! assert!(!directory.verify(b"propose y in view 1", &sig));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SHA-NI core in `sha256::shani` is the one
+// scoped `#[allow(unsafe_code)]` exception (CPU intrinsics require it);
+// everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hmac;
@@ -52,4 +55,14 @@ pub type Digest = [u8; 32];
 /// Computes the SHA-256 digest of `data` (convenience wrapper).
 pub fn digest(data: &[u8]) -> Digest {
     sha256::Sha256::digest(data)
+}
+
+/// The canonical (memoized) SHA-256 digest of a consensus value.
+///
+/// This is THE value-digest function of the protocol: every digest-carried
+/// signed statement embeds it, and SMR command dedup keys on it. Routing
+/// all callers through here keeps [`fastbft_types::Value`]'s memo cache
+/// single-function (the cache stores whatever was computed first).
+pub fn value_digest(value: &fastbft_types::Value) -> &Digest {
+    value.digest_with(sha256::Sha256::digest_of)
 }

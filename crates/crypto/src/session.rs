@@ -79,15 +79,29 @@ pub fn frame_preimage(session: u64, seq: u64, payload: &[u8]) -> Vec<u8> {
     buf
 }
 
-/// [`frame_preimage`] into a caller-owned scratch buffer (cleared first) —
-/// the allocation-free form the per-frame hot path uses.
+/// [`frame_preimage`] into a caller-owned scratch buffer (cleared first).
 pub fn frame_preimage_into(buf: &mut Vec<u8>, session: u64, seq: u64, payload: &[u8]) {
     buf.clear();
     buf.extend_from_slice(FRAME_DOMAIN);
-    buf.extend_from_slice(&session.to_be_bytes());
-    buf.extend_from_slice(&seq.to_be_bytes());
-    buf.extend_from_slice(&(payload.len() as u64).to_be_bytes());
+    buf.extend_from_slice(&frame_header(session, seq, payload)[FRAME_DOMAIN.len()..]);
     buf.extend_from_slice(payload);
+}
+
+/// Byte length of a frame preimage's fixed header: domain + session + seq +
+/// payload length.
+const FRAME_HEADER_LEN: usize = FRAME_DOMAIN.len() + 8 + 8 + 8;
+
+/// The fixed header of a frame preimage, built on the stack. The hot path
+/// MACs `header ‖ payload` as two streamed parts instead of copying the
+/// payload into a contiguous preimage buffer per frame.
+fn frame_header(session: u64, seq: u64, payload: &[u8]) -> [u8; FRAME_HEADER_LEN] {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let d = FRAME_DOMAIN.len();
+    header[..d].copy_from_slice(FRAME_DOMAIN);
+    header[d..d + 8].copy_from_slice(&session.to_be_bytes());
+    header[d + 8..d + 16].copy_from_slice(&seq.to_be_bytes());
+    header[d + 16..].copy_from_slice(&(payload.len() as u64).to_be_bytes());
+    header
 }
 
 /// Canonical preimage a handshake signature is computed over: who claims to
@@ -178,8 +192,6 @@ pub struct SessionMac {
     pair: KeyPair,
     session: u64,
     next_seq: u64,
-    /// Reused preimage buffer (one MAC per frame is the hot path).
-    preimage: Vec<u8>,
 }
 
 impl SessionMac {
@@ -190,7 +202,6 @@ impl SessionMac {
             pair,
             session,
             next_seq: 1,
-            preimage: Vec::new(),
         }
     }
 
@@ -208,8 +219,8 @@ impl SessionMac {
     pub fn tag_next(&mut self, payload: &[u8]) -> (u64, Signature) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        frame_preimage_into(&mut self.preimage, self.session, seq, payload);
-        let sig = self.pair.sign(&self.preimage);
+        let header = frame_header(self.session, seq, payload);
+        let sig = self.pair.sign_parts(&[&header, payload]);
         (seq, sig)
     }
 }
@@ -222,8 +233,6 @@ pub struct SessionVerifier {
     peer: ProcessId,
     session: u64,
     next_seq: u64,
-    /// Reused preimage buffer (one verify per frame is the hot path).
-    preimage: Vec<u8>,
 }
 
 impl SessionVerifier {
@@ -235,7 +244,6 @@ impl SessionVerifier {
             peer,
             session,
             next_seq: 1,
-            preimage: Vec::new(),
         }
     }
 
@@ -269,8 +277,8 @@ impl SessionVerifier {
                 expected: self.next_seq,
             });
         }
-        frame_preimage_into(&mut self.preimage, self.session, seq, payload);
-        if !self.dir.verify(&self.preimage, sig) {
+        let header = frame_header(self.session, seq, payload);
+        if !self.dir.verify_parts(&[&header, payload], sig) {
             return Err(SessionError::BadTag);
         }
         self.next_seq += 1;
@@ -348,6 +356,17 @@ mod tests {
         );
         // The verifier did not advance: the genuine frame still verifies.
         check.verify(seq, b"honest", &sig).unwrap();
+    }
+
+    /// The streamed `header ‖ payload` tag must stay byte-compatible with
+    /// a MAC over the classic contiguous [`frame_preimage`].
+    #[test]
+    fn parts_tag_matches_contiguous_preimage() {
+        let (pairs, dir) = setup();
+        let payload = vec![7u8; 300];
+        let mut mac = SessionMac::new(pairs[0].clone(), 9);
+        let (seq, sig) = mac.tag_next(&payload);
+        assert!(dir.verify(&frame_preimage(9, seq, &payload), &sig));
     }
 
     #[test]

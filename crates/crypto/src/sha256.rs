@@ -38,6 +38,213 @@ const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
+/// One compression round (FIPS 180-4 §6.2.2 step 3), with the state
+/// variables passed in rotated order instead of shuffled through eight
+/// move assignments per round — the standard unrolling that lets all 64
+/// rounds run on named registers.
+macro_rules! round {
+    ($a:expr, $b:expr, $c:expr, $d:expr, $e:expr, $f:expr, $g:expr, $h:expr, $w:expr, $k:expr) => {{
+        let t1 = $h
+            .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+            .wrapping_add(($e & $f) ^ (!$e & $g))
+            .wrapping_add($k)
+            .wrapping_add($w);
+        let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+            .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+        $d = $d.wrapping_add(t1);
+        $h = t1.wrapping_add(t2);
+    }};
+}
+
+/// Compresses one 64-byte block into `state`.
+#[inline]
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    // Message schedule. The recurrence reuses schedule words computed 2, 7,
+    // 15 and 16 steps earlier, so materializing the full 64-entry window
+    // lets the expansion loop run without modular indexing.
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    // Eight rounds per group: after eight the variable rotation is the
+    // identity, so the groups chain without any shuffling.
+    for i in (0..64).step_by(8) {
+        round!(a, b, c, d, e, f, g, h, w[i], K[i]);
+        round!(h, a, b, c, d, e, f, g, w[i + 1], K[i + 1]);
+        round!(g, h, a, b, c, d, e, f, w[i + 2], K[i + 2]);
+        round!(f, g, h, a, b, c, d, e, w[i + 3], K[i + 3]);
+        round!(e, f, g, h, a, b, c, d, w[i + 4], K[i + 4]);
+        round!(d, e, f, g, h, a, b, c, w[i + 5], K[i + 5]);
+        round!(c, d, e, f, g, h, a, b, w[i + 6], K[i + 6]);
+        round!(b, c, d, e, f, g, h, a, w[i + 7], K[i + 7]);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Compresses a whole 64-byte-aligned span in one call, through the SHA-NI
+/// core when the CPU has one (several× the scalar throughput — this is what
+/// keeps the per-frame session MACs cheap) and the unrolled scalar rounds
+/// otherwise.
+///
+/// # Panics
+///
+/// Panics (debug) if `data` is not a multiple of 64 bytes.
+#[inline]
+#[allow(unsafe_code)] // the dispatch into the feature-gated SHA-NI core
+fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert_eq!(data.len() % 64, 0, "span must be block-aligned");
+    #[cfg(target_arch = "x86_64")]
+    if shani::available() {
+        // SAFETY: `available()` just confirmed the required CPU features.
+        unsafe { shani::compress_blocks(state, data) };
+        return;
+    }
+    for block in data.chunks_exact(64) {
+        compress_block(state, block.try_into().expect("64-byte chunk"));
+    }
+}
+
+/// SHA-256 message-schedule + rounds on the x86 SHA New Instructions.
+///
+/// This is the standard Intel SHA-NI schedule (Gulley et al., also the
+/// shape used by the `sha2` crate's x86 backend): the eight state words
+/// live in two `__m128i` registers laid out as `ABEF`/`CDGH`, each
+/// `SHA256RNDS2` advances two rounds, and `SHA256MSG1`/`SHA256MSG2`
+/// compute the schedule recurrence four words at a time.
+///
+/// The crate otherwise forbids `unsafe`; this module is the one scoped
+/// exception because the intrinsics require it. Safety is confined to CPU
+/// feature availability (checked at runtime in [`available`]) and
+/// unaligned loads/stores through `_mm_loadu_si128`/`_mm_storeu_si128`,
+/// which accept any address. Correctness is pinned by the FIPS 180-4 /
+/// NIST CAVP vectors in the test module, which run through this path on
+/// SHA-NI hardware.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod shani {
+    use super::K;
+    use core::arch::x86_64::*;
+
+    /// Whether the CPU supports the instructions [`compress_blocks`] uses.
+    /// `is_x86_feature_detected!` caches per feature, so this is an atomic
+    /// load per call.
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+            && std::arch::is_x86_feature_detected!("ssse3")
+    }
+
+    /// Schedule four message words: `w16 = msg2(msg1(w0, w1) + w2>>alignr, w3)`.
+    #[inline]
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    unsafe fn schedule(v0: __m128i, v1: __m128i, v2: __m128i, v3: __m128i) -> __m128i {
+        let t1 = _mm_sha256msg1_epu32(v0, v1);
+        let t2 = _mm_alignr_epi8(v3, v2, 4);
+        let t3 = _mm_add_epi32(t1, t2);
+        _mm_sha256msg2_epu32(t3, v3)
+    }
+
+    /// Four rounds from the schedule words `w` and round constants `K[4i..]`.
+    macro_rules! rounds4 {
+        ($abef:ident, $cdgh:ident, $w:expr, $i:expr) => {{
+            let k = _mm_loadu_si128(K.as_ptr().add(4 * $i) as *const __m128i);
+            let t = _mm_add_epi32($w, k);
+            $cdgh = _mm_sha256rnds2_epu32($cdgh, $abef, t);
+            let t_hi = _mm_shuffle_epi32(t, 0x0E);
+            $abef = _mm_sha256rnds2_epu32($abef, $cdgh, t_hi);
+        }};
+    }
+
+    macro_rules! schedule_rounds4 {
+        ($abef:ident, $cdgh:ident, $w0:expr, $w1:expr, $w2:expr, $w3:expr, $w4:expr, $i:expr) => {{
+            $w4 = schedule($w0, $w1, $w2, $w3);
+            rounds4!($abef, $cdgh, $w4, $i);
+        }};
+    }
+
+    /// Compresses a 64-byte-aligned span (`data.len() % 64 == 0`).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have confirmed [`available`].
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub unsafe fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+        // Byte shuffle turning little-endian lane loads into the big-endian
+        // word order SHA-256 consumes.
+        let mask = _mm_set_epi64x(0x0C0D_0E0F_0809_0A0B, 0x0405_0607_0001_0203);
+
+        // Repack [a,b,c,d] / [e,f,g,h] into the ABEF / CDGH layout the
+        // round instructions expect.
+        let state_ptr = state.as_ptr() as *const __m128i;
+        let dcba = _mm_loadu_si128(state_ptr);
+        let hgfe = _mm_loadu_si128(state_ptr.add(1));
+        let cdab = _mm_shuffle_epi32(dcba, 0xB1);
+        let efgh = _mm_shuffle_epi32(hgfe, 0x1B);
+        let mut abef = _mm_alignr_epi8(cdab, efgh, 8);
+        let mut cdgh = _mm_blend_epi16(efgh, cdab, 0xF0);
+
+        for block in data.chunks_exact(64) {
+            let abef_save = abef;
+            let cdgh_save = cdgh;
+
+            let p = block.as_ptr() as *const __m128i;
+            let mut w0 = _mm_shuffle_epi8(_mm_loadu_si128(p), mask);
+            let mut w1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(1)), mask);
+            let mut w2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(2)), mask);
+            let mut w3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(3)), mask);
+            let mut w4;
+
+            rounds4!(abef, cdgh, w0, 0);
+            rounds4!(abef, cdgh, w1, 1);
+            rounds4!(abef, cdgh, w2, 2);
+            rounds4!(abef, cdgh, w3, 3);
+            schedule_rounds4!(abef, cdgh, w0, w1, w2, w3, w4, 4);
+            schedule_rounds4!(abef, cdgh, w1, w2, w3, w4, w0, 5);
+            schedule_rounds4!(abef, cdgh, w2, w3, w4, w0, w1, 6);
+            schedule_rounds4!(abef, cdgh, w3, w4, w0, w1, w2, 7);
+            schedule_rounds4!(abef, cdgh, w4, w0, w1, w2, w3, 8);
+            schedule_rounds4!(abef, cdgh, w0, w1, w2, w3, w4, 9);
+            schedule_rounds4!(abef, cdgh, w1, w2, w3, w4, w0, 10);
+            schedule_rounds4!(abef, cdgh, w2, w3, w4, w0, w1, 11);
+            schedule_rounds4!(abef, cdgh, w3, w4, w0, w1, w2, 12);
+            schedule_rounds4!(abef, cdgh, w4, w0, w1, w2, w3, 13);
+            schedule_rounds4!(abef, cdgh, w0, w1, w2, w3, w4, 14);
+            schedule_rounds4!(abef, cdgh, w1, w2, w3, w4, w0, 15);
+
+            abef = _mm_add_epi32(abef, abef_save);
+            cdgh = _mm_add_epi32(cdgh, cdgh_save);
+        }
+
+        // Unpack ABEF / CDGH back to [a,b,c,d] / [e,f,g,h].
+        let feba = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        let dcba = _mm_blend_epi16(feba, dchg, 0xF0);
+        let hgfe = _mm_alignr_epi8(dchg, feba, 8);
+        let out = state.as_mut_ptr() as *mut __m128i;
+        _mm_storeu_si128(out, dcba);
+        _mm_storeu_si128(out.add(1), hgfe);
+    }
+}
+
 /// Streaming SHA-256 hasher.
 #[derive(Clone, Debug)]
 pub struct Sha256 {
@@ -67,11 +274,32 @@ impl Sha256 {
         }
     }
 
-    /// One-shot digest of `data`.
+    /// One-shot digest of `data` (see [`Sha256::digest_of`]).
     pub fn digest(data: &[u8]) -> Digest {
-        let mut h = Sha256::new();
-        h.update(data);
-        h.finalize()
+        Sha256::digest_of(data)
+    }
+
+    /// One-shot digest that skips the streaming state machine entirely:
+    /// whole blocks compress straight from the input and the padded tail is
+    /// built once on the stack. This is the hot entry point for value
+    /// digests and statement hashing.
+    pub fn digest_of(data: &[u8]) -> Digest {
+        let mut state = H0;
+        let whole = data.len() - data.len() % 64;
+        compress_blocks(&mut state, &data[..whole]);
+
+        // Padding: 0x80, zeros, 64-bit big-endian bit length — one block,
+        // or two when the tail leaves no room for the length field.
+        let tail = &data[whole..];
+        let mut pad = [0u8; 128];
+        pad[..tail.len()].copy_from_slice(tail);
+        pad[tail.len()] = 0x80;
+        let pad_len = if tail.len() < 56 { 64 } else { 128 };
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        pad[pad_len - 8..pad_len].copy_from_slice(&bit_len.to_be_bytes());
+        compress_blocks(&mut state, &pad[..pad_len]);
+
+        digest_from_state(&state)
     }
 
     /// Absorbs `data` into the hash state.
@@ -86,16 +314,14 @@ impl Sha256 {
             data = &data[take..];
             if self.buffered == 64 {
                 let block = self.buffer;
-                self.compress(&block);
+                compress_blocks(&mut self.state, &block);
                 self.buffered = 0;
             }
         }
-        // Whole blocks straight from the input.
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            self.compress(block.try_into().expect("64-byte split"));
-            data = rest;
-        }
+        // Whole blocks straight from the input, as one aligned span.
+        let whole = data.len() - data.len() % 64;
+        compress_blocks(&mut self.state, &data[..whole]);
+        data = &data[whole..];
         // Stash the tail.
         if !data.is_empty() {
             self.buffer[..data.len()].copy_from_slice(data);
@@ -117,66 +343,26 @@ impl Sha256 {
             // No room for the length: the padding spills into a second block.
             self.buffer[buffered + 1..].fill(0);
             let block = self.buffer;
-            self.compress(&block);
+            compress_blocks(&mut self.state, &block);
             self.buffer[..56].fill(0);
         }
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
-        self.compress(&block);
+        compress_blocks(&mut self.state, &block);
 
-        let mut out = [0u8; 32];
-        for (i, word) in self.state.iter().enumerate() {
-            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        out
+        digest_from_state(&self.state)
     }
+}
 
-    /// FIPS 180-4 §6.2.2 compression function.
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let temp1 = h
-                .wrapping_add(big_s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = big_s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+/// Serializes the hash state as the big-endian digest (FIPS 180-4 §6.2.2
+/// step 4).
+#[inline]
+fn digest_from_state(state: &[u32; 8]) -> Digest {
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
     }
+    out
 }
 
 #[cfg(test)]
@@ -274,6 +460,20 @@ mod tests {
         for (len, expect) in cases {
             let data = vec![b'a'; len];
             assert_eq!(hex(&Sha256::digest(&data)), expect, "len {len}");
+        }
+    }
+
+    /// The one-shot `digest_of` must agree with the streaming state machine
+    /// at every padding edge (tail < 56, tail in 56..64, exact blocks).
+    #[test]
+    fn digest_of_equals_streaming_at_all_padding_edges() {
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 257] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut h = Sha256::new();
+            for chunk in data.chunks(7) {
+                h.update(chunk);
+            }
+            assert_eq!(Sha256::digest_of(&data), h.finalize(), "len {len}");
         }
     }
 

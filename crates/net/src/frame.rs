@@ -495,6 +495,91 @@ pub fn read_msg<T: Decode>(r: &mut impl Read) -> Result<Option<T>, FrameError> {
     }
 }
 
+/// [`read_frame`] into a caller-owned body buffer — the
+/// per-frame-allocation-free form the reader thread uses. Returns the
+/// frame's body length (the frame occupies `body[..len]`), or `None` on
+/// clean EOF.
+///
+/// The buffer is a high-water mark: it grows to the largest frame seen and
+/// never shrinks, so once warm there is no per-frame zero-fill or
+/// allocation even when small and large frames alternate — `read_exact`
+/// overwrites exactly the `len` bytes the caller is handed.
+///
+/// # Errors
+///
+/// [`FrameError`] on truncation, oversized declarations, or socket errors.
+pub fn read_frame_into(r: &mut impl Read, body: &mut Vec<u8>) -> Result<Option<usize>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < len_buf.len() {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None), // clean EOF between frames
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len });
+    }
+    if body.len() < len {
+        body.resize(len, 0);
+    }
+    r.read_exact(&mut body[..len]).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    Ok(Some(len))
+}
+
+/// A data frame decoded **in place**: `payload` borrows the body buffer
+/// instead of copying into an owned `Vec` — together with
+/// [`read_frame_into`], the reader thread touches each payload byte only
+/// for the MAC and the message decode, with zero per-frame allocations.
+#[derive(Debug, PartialEq)]
+pub struct FrameRef<'a> {
+    /// See [`Frame::sender`].
+    pub sender: ProcessId,
+    /// See [`Frame::seq`].
+    pub seq: u64,
+    /// The message batch, borrowed from the frame body.
+    pub payload: &'a [u8],
+    /// See [`Frame::mac`].
+    pub mac: Signature,
+}
+
+/// Decodes a data-frame body without copying the payload (see
+/// [`FrameRef`]). Strict like every decode: the body must be consumed
+/// exactly.
+///
+/// # Errors
+///
+/// A [`WireError`] for truncated or non-canonical bodies.
+pub fn decode_frame_borrowed(body: &[u8]) -> Result<FrameRef<'_>, WireError> {
+    let mut r = fastbft_types::wire::WireReader::new(body);
+    let sender = ProcessId::decode(&mut r)?;
+    let seq = u64::decode(&mut r)?;
+    let len = r.take_len()?;
+    let payload = r.take(len)?;
+    let mac = Signature::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes {
+            remaining: r.remaining(),
+        });
+    }
+    Ok(FrameRef {
+        sender,
+        seq,
+        payload,
+        mac,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +600,48 @@ mod tests {
             payload: vec![1, 2, 3],
             mac: pairs[1].sign(b"x"),
         });
+    }
+
+    #[test]
+    fn borrowed_frame_decode_matches_owned() {
+        let (pairs, _) = keys();
+        let frame = Frame {
+            sender: ProcessId(2),
+            seq: 9,
+            payload: vec![1, 2, 3],
+            mac: pairs[1].sign(b"x"),
+        };
+        let body = to_bytes(&frame);
+        let fr = decode_frame_borrowed(&body).unwrap();
+        assert_eq!(fr.sender, frame.sender);
+        assert_eq!(fr.seq, frame.seq);
+        assert_eq!(fr.payload, frame.payload.as_slice());
+        assert_eq!(fr.mac, frame.mac);
+        // Trailing bytes are rejected, same as the owned decode.
+        let mut extended = body.clone();
+        extended.push(0);
+        assert!(decode_frame_borrowed(&extended).is_err());
+        // read_frame_into sees the identical body, and clean EOF after.
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &frame).unwrap();
+        let mut cur = io::Cursor::new(wire.clone());
+        let mut buf = vec![0xFF; 3]; // dirty: frame bytes must be overwritten
+        assert_eq!(
+            read_frame_into(&mut cur, &mut buf).unwrap(),
+            Some(body.len())
+        );
+        assert_eq!(&buf[..body.len()], &body[..]);
+        assert_eq!(read_frame_into(&mut cur, &mut buf).unwrap(), None);
+        // High-water buffer: an oversized dirty buffer keeps its length and
+        // only the frame's span is touched.
+        let mut cur = io::Cursor::new(wire);
+        let mut buf = vec![0xFF; body.len() + 5];
+        assert_eq!(
+            read_frame_into(&mut cur, &mut buf).unwrap(),
+            Some(body.len())
+        );
+        assert_eq!(&buf[..body.len()], &body[..]);
+        assert_eq!(&buf[body.len()..], [0xFF; 5]);
     }
 
     #[test]

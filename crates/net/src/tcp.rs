@@ -48,8 +48,8 @@ use fastbft_types::wire::{encode_into, Decode, Encode, MAX_FRAME_LEN};
 use fastbft_types::ProcessId;
 
 use crate::frame::{
-    append_frame, decode_batch_payload, encode_batch_payload, read_msg, write_msg, Frame, Hello,
-    HelloAck, FRAME_OVERHEAD,
+    append_frame, decode_batch_payload, decode_frame_borrowed, encode_batch_payload,
+    read_frame_into, read_msg, write_msg, Hello, HelloAck, FRAME_OVERHEAD,
 };
 
 /// Tunables for the TCP transport.
@@ -770,29 +770,36 @@ fn serve_connection<M: SimMessage + Decode>(
     }
     let mut verifier = SessionVerifier::new(dir, hello.sender, mix_session(hello.session, nonce));
     let mut reader = BufReader::new(stream);
+    // One body buffer for the connection's lifetime: frames are read into
+    // it and decoded in place (`FrameRef`), so the steady state does zero
+    // per-frame allocations and never copies a payload.
+    let mut body = Vec::new();
     loop {
         if shared.stopping() {
             return;
         }
-        let frame: Frame = match read_msg(&mut reader) {
-            Ok(Some(frame)) => frame,
+        let len = match read_frame_into(&mut reader, &mut body) {
+            Ok(Some(len)) => len,
             // Clean close, truncation, oversized length, malformed body,
             // socket error: in every case, stop serving this connection.
             _ => return,
+        };
+        let Ok(frame) = decode_frame_borrowed(&body[..len]) else {
+            return;
         };
         // The sender field must match the handshake-authenticated peer and
         // the MAC must verify (which also pins signer and sequence): the
         // claimed identity is checked cryptographically, never trusted.
         if frame.sender != verifier.peer()
             || verifier
-                .verify(frame.seq, &frame.payload, &frame.mac)
+                .verify(frame.seq, frame.payload, &frame.mac)
                 .is_err()
         {
             return;
         }
         // One verified frame carries a whole writer drain: decode the
         // batch and hand it to the event loop as one queue operation.
-        match decode_batch_payload::<M>(&frame.payload) {
+        match decode_batch_payload::<M>(frame.payload) {
             Ok(mut msgs) if msgs.len() == 1 => {
                 let msg = msgs.pop().expect("len checked");
                 let _ = inbound_tx.send(Inbound::Peer(frame.sender, msg));

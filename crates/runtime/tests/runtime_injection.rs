@@ -45,6 +45,7 @@ fn injected_acks_cannot_forge_decisions() {
                 Message::Ack(AckMsg {
                     value: bogus.clone(),
                     view: View::FIRST,
+                    share: None,
                 }),
             );
         }

@@ -422,9 +422,13 @@ impl<S: StateMachine> SmrNode<S> {
         }
     }
 
-    /// The at-most-once identity of an untagged command: its content digest.
+    /// The at-most-once identity of an untagged command: its content
+    /// digest, via the value's memoized digest cache (`command_applied`
+    /// followed by `mark_applied` on the same decoded command hashes once,
+    /// and a command digested by the protocol layer is never re-hashed
+    /// here).
     fn command_key(cmd: &Value) -> fastbft_crypto::Digest {
-        fastbft_crypto::digest(cmd.as_bytes())
+        *fastbft_crypto::value_digest(cmd)
     }
 
     /// Whether a client command was already executed — by `(client, seq)`

@@ -147,6 +147,7 @@ fn slot_messages_roundtrip_on_the_wire() {
         inner: Message::Ack(AckMsg {
             value: Value::from_u64(77),
             view: View::FIRST,
+            share: None,
         }),
     });
 }

@@ -1,6 +1,9 @@
 //! Consensus values.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -14,6 +17,14 @@ use crate::wire::{Decode, Encode, WireError, WireReader};
 /// are cheap reference bumps — important because the all-to-all `ack` phase
 /// clones the proposed value `O(n²)` times per decision.
 ///
+/// A value also carries a lazily computed, memoized 32-byte digest (see
+/// [`Value::digest_with`]) shared by all clones. Every signed statement in
+/// the protocol embeds `H(x)` rather than the value bytes, so the digest is
+/// on the sign/verify hot path; memoizing it means a value's bytes are
+/// hashed at most once per allocation, no matter how many signatures
+/// mention it. The digest is identity metadata, not content: it never
+/// travels on the wire and is excluded from equality, ordering and hashing.
+///
 /// ```
 /// use fastbft_types::Value;
 /// let a = Value::from_u64(7);
@@ -21,13 +32,20 @@ use crate::wire::{Decode, Encode, WireError, WireReader};
 /// assert_eq!(a, b);
 /// assert_eq!(a.len(), 8);
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-pub struct Value(Bytes);
+#[derive(Clone, Default, Serialize, Deserialize)]
+pub struct Value {
+    bytes: Bytes,
+    /// Memoized digest of `bytes`; `Arc` so clones share one computation.
+    digest: Arc<OnceLock<[u8; 32]>>,
+}
 
 impl Value {
     /// Creates a value from raw bytes.
     pub fn new(bytes: impl Into<Bytes>) -> Self {
-        Value(bytes.into())
+        Value {
+            bytes: bytes.into(),
+            digest: Arc::new(OnceLock::new()),
+        }
     }
 
     /// Convenience constructor: the big-endian encoding of `x`.
@@ -35,28 +53,70 @@ impl Value {
     /// Used throughout tests and experiments where values are just labels
     /// (e.g. the lower-bound construction uses values `0` and `1`).
     pub fn from_u64(x: u64) -> Self {
-        Value(Bytes::copy_from_slice(&x.to_be_bytes()))
+        Value::new(Bytes::copy_from_slice(&x.to_be_bytes()))
     }
 
     /// Interprets the value as a big-endian `u64` if it is exactly 8 bytes.
     pub fn as_u64(&self) -> Option<u64> {
-        let arr: [u8; 8] = self.0.as_ref().try_into().ok()?;
+        let arr: [u8; 8] = self.bytes.as_ref().try_into().ok()?;
         Some(u64::from_be_bytes(arr))
     }
 
     /// The raw bytes of the value.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        &self.bytes
     }
 
     /// Length of the value in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.bytes.len()
     }
 
     /// Whether the value is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.bytes.is_empty()
+    }
+
+    /// The memoized digest of the value bytes, computing it with `compute`
+    /// on first use. Clones share the cache, so across a process each
+    /// allocation is hashed at most once.
+    ///
+    /// Every caller in a process must supply the same hash function (this
+    /// workspace uses SHA-256 via `fastbft_crypto::value_digest`): the
+    /// first computation wins and later calls return it regardless of the
+    /// closure passed. `fastbft_types` stays crypto-free; the hash function
+    /// is injected by the layer that owns it.
+    pub fn digest_with(&self, compute: impl FnOnce(&[u8]) -> [u8; 32]) -> &[u8; 32] {
+        self.digest.get_or_init(|| compute(&self.bytes))
+    }
+}
+
+// Equality, ordering and hashing are over the value *bytes* only: the
+// memoized digest is derived metadata and two values with different cache
+// states must still compare equal.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bytes.cmp(&other.bytes)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.bytes.hash(state);
     }
 }
 
@@ -68,10 +128,10 @@ impl fmt::Debug for Value {
             write!(f, "Value({x})")
         } else {
             write!(f, "Value(0x")?;
-            for b in self.0.iter().take(8) {
+            for b in self.bytes.iter().take(8) {
                 write!(f, "{b:02x}")?;
             }
-            if self.0.len() > 8 {
+            if self.bytes.len() > 8 {
                 write!(f, "…")?;
             }
             write!(f, ")")
@@ -93,19 +153,19 @@ impl From<Vec<u8>> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value(Bytes::copy_from_slice(s.as_bytes()))
+        Value::new(Bytes::copy_from_slice(s.as_bytes()))
     }
 }
 
 impl AsRef<[u8]> for Value {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        &self.bytes
     }
 }
 
 impl Encode for Value {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.0.as_ref().encode(buf);
+        self.bytes.as_ref().encode(buf);
     }
 }
 
@@ -157,5 +217,40 @@ mod tests {
         roundtrip(&Value::from_u64(99));
         roundtrip(&Value::from("hello world"));
         roundtrip(&Value::default());
+    }
+
+    #[test]
+    fn digest_computed_once_and_shared_by_clones() {
+        let v = Value::new(vec![3u8; 100]);
+        let clone = v.clone();
+        let mut calls = 0;
+        let d1 = *v.digest_with(|b| {
+            calls += 1;
+            let mut d = [0u8; 32];
+            d[0] = b[0];
+            d
+        });
+        // Clones share the memo: the closure must not run again.
+        let d2 = *clone.digest_with(|_| panic!("digest recomputed for a clone"));
+        assert_eq!(calls, 1);
+        assert_eq!(d1, d2);
+        assert_eq!(d1[0], 3);
+    }
+
+    #[test]
+    fn digest_cache_does_not_affect_identity() {
+        let a = Value::from_u64(7);
+        let b = Value::from_u64(7);
+        a.digest_with(|_| [9u8; 32]);
+        // Only `a` has a cached digest; equality, ordering and hashing must
+        // still treat the two as the same value.
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        // The interior mutability clippy flags here is exactly what this
+        // test pins down: the memo is excluded from Eq/Ord/Hash.
+        #[allow(clippy::mutable_key_type)]
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
     }
 }

@@ -85,6 +85,9 @@ proptest! {
         // Commands are identified by their bytes and execute at most once,
         // so a workload with byte-identical repeats commits each distinct
         // command exactly once.
+        // `Value`'s interior mutability is only its digest memo, which is
+        // excluded from Eq/Ord/Hash — the key ordering cannot shift.
+        #[allow(clippy::mutable_key_type)]
         let distinct: std::collections::BTreeSet<&Value> = workload.iter().collect();
         let mut cluster = SmrSimCluster::new(
             cfg,

@@ -43,7 +43,18 @@ proptest! {
         let (pairs, _) = KeyDirectory::generate(2, 1);
         let view = View(view);
         let msgs = [
-            Message::Ack(AckMsg { value: value.clone(), view }),
+            Message::Ack(AckMsg {
+                value: value.clone(),
+                view,
+                share: None,
+            }),
+            // The piggybacked slow-path share (`Some` arm) is the only way
+            // honest replicas transmit shares — it must round-trip too.
+            Message::Ack(AckMsg {
+                value: value.clone(),
+                view,
+                share: Some(pairs[1].sign(b"share")),
+            }),
             Message::Wish(WishMsg { view }),
             Message::Propose(ProposeMsg {
                 value: value.clone(),
