@@ -19,7 +19,7 @@ use fastbft_types::wire::{encode_into, to_bytes};
 use fastbft_types::{Value, View};
 
 fn ack(slot: u64) -> SlotMessage {
-    SlotMessage {
+    SlotMessage::Consensus {
         slot,
         inner: Message::Ack(AckMsg {
             value: Value::from_u64(7),

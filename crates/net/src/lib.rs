@@ -167,6 +167,91 @@ pub fn tcp_seats<M: SimMessage + Encode + Decode>(
     Ok((seats, addrs))
 }
 
+/// [`tcp_seats`] that also hands back a clone of each replica's bound
+/// listener. Restart tests keep the clones: the file descriptor keeps the
+/// port bound while a seat is down (peer redials queue in the accept
+/// backlog — no rebind race, no address reuse window), and
+/// [`tcp_reseat`] builds the replacement seat on it.
+///
+/// # Errors
+///
+/// An [`io::Error`] if binding or cloning the loopback listeners fails.
+///
+/// # Panics
+///
+/// Panics if `pairs` does not line up with `actors`.
+#[allow(clippy::type_complexity)]
+pub fn tcp_seats_retaining<M: SimMessage + Encode + Decode>(
+    actors: Vec<Box<dyn Actor<M> + Send>>,
+    pairs: Vec<KeyPair>,
+    dir: KeyDirectory,
+    opts: TcpOptions,
+) -> io::Result<(
+    Vec<NodeSeat<M, TcpTransport<M>>>,
+    Vec<SocketAddr>,
+    Vec<TcpListener>,
+)> {
+    let n = actors.len();
+    assert_eq!(pairs.len(), n, "one key pair per actor");
+    for (i, pair) in pairs.iter().enumerate() {
+        assert_eq!(
+            pair.id().index(),
+            i,
+            "pairs[{i}] must belong to process p{}",
+            i + 1
+        );
+    }
+
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+        .collect::<io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(TcpListener::local_addr)
+        .collect::<io::Result<_>>()?;
+    let retained: Vec<TcpListener> = listeners
+        .iter()
+        .map(TcpListener::try_clone)
+        .collect::<io::Result<_>>()?;
+
+    let mut seats: Vec<NodeSeat<M, TcpTransport<M>>> = Vec::with_capacity(n);
+    for ((actor, pair), listener) in actors.into_iter().zip(pairs).zip(listeners) {
+        let (transport, control) =
+            TcpTransport::start(pair, dir.clone(), listener, addrs.clone(), opts.clone())?;
+        seats.push(NodeSeat {
+            actor,
+            transport,
+            control,
+        });
+    }
+    Ok((seats, addrs, retained))
+}
+
+/// Builds a replacement [`NodeSeat`] for a stopped replica on its retained
+/// listener (see [`tcp_seats_retaining`]): fresh transport state — new
+/// sessions, new sequence numbers — on the *same* port, so peers' redial
+/// loops find the revived node without reconfiguration. Pass the result to
+/// [`fastbft_runtime::ClusterHandle::restart_node`].
+///
+/// # Errors
+///
+/// An [`io::Error`] if cloning the retained listener fails.
+pub fn tcp_reseat<M: SimMessage + Encode + Decode>(
+    actor: Box<dyn Actor<M> + Send>,
+    pair: KeyPair,
+    dir: KeyDirectory,
+    listener: &TcpListener,
+    addrs: Vec<SocketAddr>,
+    opts: TcpOptions,
+) -> io::Result<NodeSeat<M, TcpTransport<M>>> {
+    let (transport, control) = TcpTransport::start(pair, dir, listener.try_clone()?, addrs, opts)?;
+    Ok(NodeSeat {
+        actor,
+        transport,
+        control,
+    })
+}
+
 /// Compile-time proof that [`TcpTransport`] satisfies the runtime's
 /// [`Transport`] abstraction for the protocol message type (referenced by
 /// the workspace smoke test).

@@ -2,15 +2,15 @@
 //! on all correct replicas, live client submission, silent-leader
 //! recovery mid-log, and deadlock-free shutdown with slots in flight.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fastbft_core::replica::ReplicaOptions;
 use fastbft_crypto::KeyDirectory;
-use fastbft_net::tcp_seats;
+use fastbft_net::{tcp_reseat, tcp_seats, tcp_seats_retaining};
 use fastbft_runtime::spawn_with;
 use fastbft_sim::{Actor, ScriptedActor};
-use fastbft_smr::runtime::{as_smr_node, smr_actors, SmrClusterHandle};
-use fastbft_smr::{KvCommand, KvStore, SlotMessage};
+use fastbft_smr::runtime::{as_smr_node, smr_actors, smr_actors_snapshotting, SmrClusterHandle};
+use fastbft_smr::{KvCommand, KvStore, SlotMessage, SmrNode};
 use fastbft_types::{Config, ProcessId, Value};
 
 const TICK: Duration = Duration::from_micros(50);
@@ -72,7 +72,7 @@ fn kv_replicates_identically_over_tcp() {
     for log in cluster.logs() {
         for cmd in &commands {
             assert_eq!(
-                log.iter().filter(|v| *v == cmd).count(),
+                log.values().filter(|v| *v == cmd).count(),
                 1,
                 "command applied other than exactly once"
             );
@@ -127,6 +127,146 @@ fn silent_leader_recovers_mid_log_over_tcp() {
     assert!(
         digests.windows(2).all(|w| w[0] == w[1]),
         "correct replica state diverged"
+    );
+}
+
+/// The kill-and-rejoin chaos path over real TCP: a replica is stopped
+/// mid-log (thread joined, transport dropped), the survivors keep
+/// committing past it with a short snapshot cadence, and a *fresh* node —
+/// empty log, empty store, fresh transport state on the retained port —
+/// rejoins by installing an attested snapshot plus the committed suffix,
+/// ending with byte-identical state on all four replicas.
+#[test]
+fn killed_replica_rejoins_via_snapshot_over_tcp() {
+    const INTERVAL: u64 = 16;
+    let cfg = Config::new(4, 1, 1).unwrap();
+    let (pairs, dir) = KeyDirectory::generate(cfg.n(), 34);
+    let idle = KvCommand::Noop.to_value();
+    let actors = smr_actors_snapshotting(
+        cfg,
+        &pairs,
+        &dir,
+        KvStore::new(),
+        vec![Vec::new(); cfg.n()],
+        idle.clone(),
+        ReplicaOptions::default(),
+        1,
+        Some(INTERVAL),
+    );
+    let (seats, addrs, listeners) =
+        tcp_seats_retaining(actors, pairs.clone(), dir.clone(), Default::default())
+            .expect("loopback bind");
+    let mut cluster = SmrClusterHandle::new(spawn_with(seats, TICK), cfg.n(), idle.clone());
+
+    // Phase 1: a common prefix on all four replicas.
+    for i in 0..10 {
+        cluster.submit(put(i));
+    }
+    assert!(
+        cluster.await_commands(cfg.processes(), 10, Duration::from_secs(60)),
+        "initial prefix did not commit: logs {:?}",
+        cluster.logs()
+    );
+
+    // Kill p2 mid-log: event loop joined, sockets torn down. The retained
+    // listener clone keeps its port bound while the seat is dead.
+    drop(cluster.stop_node(1));
+
+    // Phase 2: the survivors commit well past p2's death; at interval 16
+    // they take (and mutually attest) several snapshots along the way.
+    let survivors = [ProcessId(1), ProcessId(3), ProcessId(4)];
+    for i in 10..40 {
+        cluster.submit(put(i));
+    }
+    assert!(
+        cluster.await_commands(survivors, 40, Duration::from_secs(120)),
+        "survivors stalled without p2: logs {:?}",
+        cluster.logs()
+    );
+
+    // Phase 3: revive seat 1 with a fresh node and fresh transport state
+    // on the same port. It knows nothing — catch-up is entirely snapshot
+    // recovery's job.
+    let node = SmrNode::new(
+        cfg,
+        pairs[1].clone(),
+        dir.clone(),
+        KvStore::new(),
+        Vec::new(),
+        idle.clone(),
+    )
+    .with_snapshot_interval(INTERVAL);
+    let seat = tcp_reseat(
+        Box::new(node),
+        pairs[1].clone(),
+        dir,
+        &listeners[1],
+        addrs,
+        Default::default(),
+    )
+    .expect("reseat on retained port");
+    cluster.restart_node(1, seat);
+
+    // Fresh traffic both advances the cluster and carries the peer tips
+    // that tell the revived p2 how far behind it is.
+    for i in 40..60 {
+        cluster.submit(put(i));
+    }
+    assert!(
+        cluster.await_commands(survivors, 60, Duration::from_secs(120)),
+        "cluster stalled after the restart: logs {:?}",
+        cluster.logs()
+    );
+    // p2's first applied event implies it installed the snapshot and is
+    // voting again (peers ignore consensus for slots below their applied
+    // index, so a fresh node cannot commit anything *without* recovering).
+    assert!(
+        cluster.await_commands([ProcessId(2)], 1, Duration::from_secs(120)),
+        "revived replica never applied a command: log {:?}",
+        cluster.logs()[1]
+    );
+
+    // A marker wave submitted after p2 is live again: every marker lands in
+    // a slot p2 applies itself, so waiting for all of them in p2's (sparse,
+    // snapshot-truncated) log proves it fully caught up.
+    let markers: Vec<Value> = (60..70).map(put).collect();
+    for cmd in &markers {
+        cluster.submit(cmd.clone());
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !markers
+        .iter()
+        .all(|m| cluster.logs()[1].values().any(|v| v == m))
+    {
+        assert!(
+            Instant::now() < deadline,
+            "revived replica never saw the marker wave: log {:?}",
+            cluster.logs()[1]
+        );
+        cluster.await_commands([ProcessId(2)], u64::MAX, Duration::from_millis(200));
+    }
+    assert!(cluster.logs_agree(), "log divergence: {:?}", cluster.logs());
+
+    // Byte-identical stores on all four — including the seat that died.
+    let actors = cluster.shutdown();
+    let revived = as_smr_node::<KvStore>(actors[1].as_ref()).expect("SMR seat");
+    assert_eq!(revived.machine().len(), 70, "revived replica missing keys");
+    assert!(
+        revived.snapshot_upto().is_some(),
+        "revived replica rejoined without installing a snapshot"
+    );
+    let digests: Vec<_> = actors
+        .iter()
+        .map(|a| {
+            as_smr_node::<KvStore>(a.as_ref())
+                .expect("SMR seat")
+                .machine()
+                .state_digest()
+        })
+        .collect();
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "replica state diverged after kill/restart"
     );
 }
 

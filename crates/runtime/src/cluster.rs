@@ -54,9 +54,17 @@ pub struct Applied {
 /// Handle to a running cluster.
 pub struct ClusterHandle<M> {
     controls: Vec<Sender<Inbound<M>>>,
-    threads: Vec<std::thread::JoinHandle<Box<dyn Actor<M> + Send>>>,
+    /// One entry per seat; `None` while that seat is stopped (see
+    /// [`ClusterHandle::stop_node`] / [`ClusterHandle::restart_node`]).
+    threads: Vec<Option<std::thread::JoinHandle<Box<dyn Actor<M> + Send>>>>,
     decisions: Receiver<Decision>,
     applied: Receiver<Applied>,
+    /// Retained so restarted seats report into the same event streams with
+    /// elapsed times on the original cluster clock.
+    decisions_tx: Sender<Decision>,
+    applied_tx: Sender<Applied>,
+    start: Instant,
+    tick: Duration,
 }
 
 /// One replica's seat in a cluster: its protocol state machine, the
@@ -118,7 +126,7 @@ pub fn spawn_with<M: SimMessage, T: Transport<M>>(
         let id = ProcessId::from_index(i);
         let decisions_tx = decisions_tx.clone();
         let applied_tx = applied_tx.clone();
-        threads.push(std::thread::spawn(move || {
+        threads.push(Some(std::thread::spawn(move || {
             run_node(
                 actor,
                 id,
@@ -129,7 +137,7 @@ pub fn spawn_with<M: SimMessage, T: Transport<M>>(
                 start,
                 tick,
             )
-        }));
+        })));
     }
 
     ClusterHandle {
@@ -137,6 +145,10 @@ pub fn spawn_with<M: SimMessage, T: Transport<M>>(
         threads,
         decisions: decisions_rx,
         applied: applied_rx,
+        decisions_tx,
+        applied_tx,
+        start,
+        tick,
     }
 }
 
@@ -346,8 +358,68 @@ impl<M: SimMessage> ClusterHandle<M> {
         }
         self.threads
             .into_iter()
+            .flatten()
             .map(|t| t.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
+    }
+
+    /// Stops one seat (kill-a-node chaos hook): shuts its event loop down,
+    /// joins its thread, and hands back the actor. The rest of the cluster
+    /// keeps running; revive the seat with
+    /// [`restart_node`](ClusterHandle::restart_node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seat is already stopped, and propagates the replica
+    /// thread's panic (if it died) like [`shutdown`](ClusterHandle::shutdown).
+    pub fn stop_node(&mut self, index: usize) -> Box<dyn Actor<M> + Send> {
+        let thread = self.threads[index]
+            .take()
+            .expect("seat is running (not already stopped)");
+        let _ = self.controls[index].send(Inbound::Shutdown);
+        thread
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e))
+    }
+
+    /// Restarts a stopped seat with a fresh actor and transport — the
+    /// kill-and-rejoin path. The new node reports into the same decision /
+    /// applied streams (elapsed times stay on the original cluster clock);
+    /// state catch-up is the *actor's* job (e.g. an SMR node's snapshot
+    /// recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seat is still running
+    /// ([`stop_node`](ClusterHandle::stop_node) it first).
+    pub fn restart_node<T: Transport<M>>(&mut self, index: usize, seat: NodeSeat<M, T>) {
+        assert!(
+            self.threads[index].is_none(),
+            "seat {index} is still running; stop_node it first"
+        );
+        let NodeSeat {
+            actor,
+            mut transport,
+            control,
+        } = seat;
+        self.controls[index] = control;
+        let id = ProcessId::from_index(index);
+        let n = self.controls.len();
+        let decisions_tx = self.decisions_tx.clone();
+        let applied_tx = self.applied_tx.clone();
+        let (start, tick) = (self.start, self.tick);
+        self.threads[index] = Some(std::thread::spawn(move || {
+            run_node(
+                actor,
+                id,
+                n,
+                &mut transport,
+                decisions_tx,
+                applied_tx,
+                start,
+                tick,
+            )
+        }));
     }
 }
 

@@ -31,10 +31,28 @@ pub struct SmrReport {
 /// Shared by the simulated harness and the wall-clock
 /// [`SmrClusterHandle`](crate::runtime::SmrClusterHandle).
 pub fn logs_consistent(logs: &[Vec<Value>]) -> bool {
+    let offset_logs: Vec<(u64, &[Value])> = logs.iter().map(|l| (0, l.as_slice())).collect();
+    offset_logs_consistent(&offset_logs)
+}
+
+/// [`logs_consistent`] for logs that start at different global indexes —
+/// the shape snapshot truncation produces, where each node retains only the
+/// suffix since its last snapshot. Two logs must agree wherever their
+/// retained index ranges overlap (non-overlapping logs are vacuously
+/// consistent: the truncated prefix was digest-attested at install time).
+pub fn offset_logs_consistent(logs: &[(u64, &[Value])]) -> bool {
     for i in 0..logs.len() {
         for j in i + 1..logs.len() {
-            let common = logs[i].len().min(logs[j].len());
-            if logs[i][..common] != logs[j][..common] {
+            let (off_i, log_i) = logs[i];
+            let (off_j, log_j) = logs[j];
+            let start = off_i.max(off_j);
+            let end = (off_i + log_i.len() as u64).min(off_j + log_j.len() as u64);
+            if start >= end {
+                continue;
+            }
+            let slice_i = &log_i[(start - off_i) as usize..(end - off_i) as usize];
+            let slice_j = &log_j[(start - off_j) as usize..(end - off_j) as usize];
+            if slice_i != slice_j {
                 return false;
             }
         }
@@ -115,6 +133,7 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
             opts,
             batch_size,
             Some(pipeline_depth),
+            None,
             Network::synchronous(SimDuration::DELTA),
         )
     }
@@ -135,7 +154,36 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
         network: Network,
     ) -> Self {
         Self::build(
-            cfg, seed, machine, commands, idle_input, opts, batch_size, None, network,
+            cfg, seed, machine, commands, idle_input, opts, batch_size, None, None, network,
+        )
+    }
+
+    /// Like [`SmrSimCluster::new_with_network`] but also pinning the
+    /// snapshot interval (see [`SmrNode::with_snapshot_interval`]) — state
+    /// transfer tests use a short interval so snapshots exist early.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_network_snapshotting(
+        cfg: Config,
+        seed: u64,
+        machine: S,
+        commands: Vec<Vec<Value>>,
+        idle_input: Value,
+        opts: ReplicaOptions,
+        batch_size: usize,
+        network: Network,
+        snapshot_interval: u64,
+    ) -> Self {
+        Self::build(
+            cfg,
+            seed,
+            machine,
+            commands,
+            idle_input,
+            opts,
+            batch_size,
+            None,
+            Some(snapshot_interval),
+            network,
         )
     }
 
@@ -149,6 +197,7 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
         opts: ReplicaOptions,
         batch_size: usize,
         pipeline_depth: Option<u64>,
+        snapshot_interval: Option<u64>,
         network: Network,
     ) -> Self {
         assert_eq!(commands.len(), cfg.n(), "one command queue per process");
@@ -168,6 +217,9 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
             .with_batch_size(batch_size);
             if let Some(depth) = pipeline_depth {
                 node = node.with_pipeline_depth(depth);
+            }
+            if let Some(interval) = snapshot_interval {
+                node = node.with_snapshot_interval(interval);
             }
             sim.add_actor(Box::new(node));
         }
@@ -219,28 +271,63 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
         self.node(p).dedup_entries()
     }
 
+    /// Slots one node has applied.
+    pub fn applied(&self, p: ProcessId) -> u64 {
+        self.node(p).applied()
+    }
+
+    /// One node's log offset (entries truncated into snapshots; see
+    /// [`SmrNode::log_offset`]).
+    pub fn log_offset(&self, p: ProcessId) -> u64 {
+        self.node(p).log_offset()
+    }
+
+    /// One node's latest snapshot boundary, if it has one.
+    pub fn snapshot_upto(&self, p: ProcessId) -> Option<u64> {
+        self.node(p).snapshot_upto()
+    }
+
+    /// One node's retained committed-suffix length (boundedness asserts).
+    pub fn tail_len(&self, p: ProcessId) -> usize {
+        self.node(p).tail_len()
+    }
+
     /// Runs until every node applied at least `k` slots (or `horizon`).
     pub fn run_until_applied(&mut self, k: u64, horizon: SimTime) -> SmrReport {
-        self.run_until_metric(k, horizon, |node| node.applied())
+        let procs: Vec<ProcessId> = self.cfg.processes().collect();
+        self.run_until_metric(&procs, k, horizon, |node| node.applied())
     }
 
     /// Runs until every node applied at least `k` *commands* (or `horizon`)
     /// — the right metric when batching.
     pub fn run_until_commands(&mut self, k: u64, horizon: SimTime) -> SmrReport {
-        self.run_until_metric(k, horizon, |node| node.commands_applied())
+        let procs: Vec<ProcessId> = self.cfg.processes().collect();
+        self.run_until_metric(&procs, k, horizon, |node| node.commands_applied())
+    }
+
+    /// [`SmrSimCluster::run_until_applied`] over a subset of nodes —
+    /// partition tests drive the live side forward while a victim is cut
+    /// off (whose stalled metric would otherwise never let the run stop).
+    pub fn run_until_applied_by(
+        &mut self,
+        procs: &[ProcessId],
+        k: u64,
+        horizon: SimTime,
+    ) -> SmrReport {
+        self.run_until_metric(procs, k, horizon, |node| node.applied())
     }
 
     fn run_until_metric(
         &mut self,
+        procs: &[ProcessId],
         k: u64,
         horizon: SimTime,
         metric: impl Fn(&SmrNode<S>) -> u64,
     ) -> SmrReport {
         loop {
-            let min_applied = self
-                .cfg
-                .processes()
-                .map(|p| metric(self.node(p)))
+            let min_applied = procs
+                .iter()
+                .map(|p| metric(self.node(*p)))
                 .min()
                 .unwrap_or(0);
             if min_applied >= k || self.sim.now() > horizon {
@@ -279,9 +366,16 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
             .min()
             .unwrap_or(0);
 
-        // Log consistency: every pair agrees on the common prefix.
-        let logs: Vec<Vec<Value>> = self.cfg.processes().map(|p| self.log(p)).collect();
-        let consistent = logs_consistent(&logs);
+        // Log consistency: every pair agrees wherever their retained
+        // (post-truncation) index ranges overlap.
+        let logs: Vec<(u64, Vec<Value>)> = self
+            .cfg
+            .processes()
+            .map(|p| (self.node(p).log_offset(), self.log(p)))
+            .collect();
+        let offset_logs: Vec<(u64, &[Value])> =
+            logs.iter().map(|(o, l)| (*o, l.as_slice())).collect();
+        let consistent = offset_logs_consistent(&offset_logs);
 
         let now = self.sim.now();
         let per_delta = |count: u64| {

@@ -97,6 +97,16 @@ pub enum KvOutput {
     Noop,
 }
 
+/// One `(key, value)` pair of a [`KvStore`] snapshot (the canonical
+/// snapshot encoding is the sorted pair list the `BTreeMap` iterates).
+#[derive(Debug, PartialEq)]
+struct KvPair {
+    key: String,
+    value: String,
+}
+
+fastbft_types::impl_wire_struct!(KvPair { key, value });
+
 /// An in-memory ordered key-value store.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KvStore {
@@ -147,6 +157,33 @@ impl StateMachine for KvStore {
             Some(KvCommand::Delete { key }) => KvOutput::Value(self.map.remove(&key)),
             Some(KvCommand::Noop) | None => KvOutput::Noop,
         }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        // BTreeMap iteration is sorted, so the pair list is canonical.
+        let pairs: Vec<KvPair> = self
+            .map
+            .iter()
+            .map(|(k, v)| KvPair {
+                key: k.clone(),
+                value: v.clone(),
+            })
+            .collect();
+        fastbft_types::wire::to_bytes(&pairs)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> bool {
+        // Fully parse before touching `self.map`: a malformed snapshot must
+        // leave the store unchanged (the trait's atomicity contract).
+        let Ok(pairs) = fastbft_types::wire::from_bytes::<Vec<KvPair>>(bytes) else {
+            return false;
+        };
+        self.map = pairs.into_iter().map(|p| (p.key, p.value)).collect();
+        true
+    }
+
+    fn state_digest(&self) -> fastbft_crypto::Digest {
+        KvStore::state_digest(self)
     }
 }
 

@@ -43,8 +43,11 @@ pub mod machine;
 pub mod multiplex;
 pub mod runtime;
 
-pub use harness::{logs_consistent, SmrReport, SmrSimCluster};
+pub use harness::{logs_consistent, offset_logs_consistent, SmrReport, SmrSimCluster};
 pub use kv::{KvCommand, KvOutput, KvStore};
 pub use machine::{CountingMachine, StateMachine};
-pub use multiplex::{parse_client_tag, tag_command, SlotMessage, SmrNode};
-pub use runtime::{as_smr_node, smr_actors, SmrClusterHandle};
+pub use multiplex::{
+    checkpoint_signature, parse_client_tag, snapshot_response_valid, tag_command, SlotMessage,
+    SmrNode, DEFAULT_SNAPSHOT_INTERVAL, MAX_STASH_AHEAD, SLOT_WINDOW,
+};
+pub use runtime::{as_smr_node, smr_actors, smr_actors_snapshotting, SmrClusterHandle};

@@ -1,5 +1,6 @@
 //! State machines driven by the replicated log.
 
+use fastbft_crypto::Digest;
 use fastbft_types::Value;
 
 /// A deterministic state machine: the paper's §1 motivation for consensus
@@ -9,6 +10,21 @@ use fastbft_types::Value;
 /// Commands arrive as opaque [`Value`]s (what consensus decides); the
 /// machine interprets them. Determinism is the machine's obligation: the
 /// same command sequence must produce the same outputs on every replica.
+///
+/// The snapshot trio ([`snapshot`](StateMachine::snapshot) /
+/// [`restore`](StateMachine::restore) /
+/// [`state_digest`](StateMachine::state_digest)) is what makes state
+/// transfer possible: a replica that has fallen behind installs a peer's
+/// snapshot instead of replaying the whole log. The contract binding them:
+///
+/// * `snapshot` is **canonical** — two machines with equal state produce
+///   byte-identical snapshots (so snapshot bytes can be digest-compared
+///   across replicas);
+/// * `restore(snapshot())` reproduces the exact state, hence the exact
+///   `state_digest`, and subsequent `apply` calls behave identically;
+/// * `restore` is **atomic** — it either fully replaces the state and
+///   returns `true`, or returns `false` leaving the machine *unchanged*
+///   (malformed bytes from a Byzantine peer must not corrupt local state).
 pub trait StateMachine {
     /// Result of applying one command.
     type Output;
@@ -17,6 +33,17 @@ pub trait StateMachine {
     /// treated as no-ops (a Byzantine process can get garbage decided, and
     /// every replica must handle it identically).
     fn apply(&mut self, command: &Value) -> Self::Output;
+
+    /// Serializes the full state canonically (see trait docs).
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Replaces the state with a decoded snapshot. Returns `false` (and
+    /// leaves the machine unchanged) on malformed bytes.
+    fn restore(&mut self, bytes: &[u8]) -> bool;
+
+    /// A digest of the full state, for cross-replica equality checks. Must
+    /// be a pure function of the state (equal states ⇒ equal digests).
+    fn state_digest(&self) -> Digest;
 }
 
 /// A trivial machine that counts applied commands; useful for tests and
@@ -45,6 +72,22 @@ impl StateMachine for CountingMachine {
         self.applied += 1;
         self.applied
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.applied.to_be_bytes().to_vec()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> bool {
+        let Ok(raw) = <[u8; 8]>::try_from(bytes) else {
+            return false;
+        };
+        self.applied = u64::from_be_bytes(raw);
+        true
+    }
+
+    fn state_digest(&self) -> Digest {
+        fastbft_crypto::digest(&self.applied.to_be_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -57,5 +100,21 @@ mod tests {
         assert_eq!(m.apply(&Value::from_u64(1)), 1);
         assert_eq!(m.apply(&Value::from_u64(9)), 2);
         assert_eq!(m.applied(), 2);
+    }
+
+    #[test]
+    fn counting_machine_snapshot_roundtrip() {
+        let mut m = CountingMachine::new();
+        for i in 0..7 {
+            m.apply(&Value::from_u64(i));
+        }
+        let bytes = m.snapshot();
+        let mut fresh = CountingMachine::new();
+        assert!(fresh.restore(&bytes));
+        assert_eq!(fresh, m);
+        assert_eq!(fresh.state_digest(), m.state_digest());
+        // Malformed bytes leave the machine unchanged.
+        assert!(!fresh.restore(b"garbage"));
+        assert_eq!(fresh.applied(), 7);
     }
 }

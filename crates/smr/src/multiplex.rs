@@ -6,13 +6,17 @@
 //! the same command sequence — the replicated state machine of the paper's
 //! introduction.
 //!
-//! Three invariants beyond plain slot routing:
+//! Four invariants beyond plain slot routing:
 //!
 //! * **At-most-once execution.** Commands a node proposes are moved into a
 //!   per-slot in-flight set (never re-proposed while a slot is pipelined),
 //!   and applying dedups by command identity — a command decided in two
 //!   slots (possible when slots overlap, or when several nodes propose the
-//!   same broadcast command) executes and is logged exactly once.
+//!   same broadcast command) executes and is logged exactly once. The
+//!   untagged dedup set rotates generationally at snapshot boundaries, so
+//!   its identity window spans the last *two* snapshot intervals instead of
+//!   the whole log (tagged commands keep exact watermark semantics; see
+//!   [`tag_command`]).
 //! * **Bounded buffering.** Messages for slots beyond the instantiation
 //!   window are stashed, but the stash is bounded in both dimensions (slot
 //!   horizon and total message count) so a Byzantine peer spraying frames
@@ -21,40 +25,181 @@
 //!   work (pending or in-flight commands, or a peer demonstrably ahead);
 //!   an idle cluster stops proposing filler instead of burning CPU — a
 //!   client command (see [`Actor::on_client`]) restarts it.
+//! * **Catch-up.** Every `snapshot_interval` applied slots a node takes a
+//!   digest-attested snapshot of its machine + dedup state, truncates the
+//!   log and dedup generations below it, and broadcasts a signed
+//!   [`SlotMessage::Checkpoint`]. A node that observes f+1 peers ahead of
+//!   it by a recovery-gap margin requests state transfer, installs the
+//!   first snapshot carrying f+1 matching attestations, absorbs the
+//!   committed suffix via quorum-matched [`SlotMessage::Backfill`] frames,
+//!   and resumes voting — so a partitioned or restarted replica rejoins
+//!   instead of stalling behind the stash horizon forever.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::mem;
 
 use fastbft_core::message::Message;
 use fastbft_core::replica::{Replica, ReplicaOptions};
-use fastbft_crypto::{KeyDirectory, KeyPair};
+use fastbft_crypto::{Digest, KeyDirectory, KeyPair, Signature};
 use fastbft_sim::{Actor, Effects, Outgoing, SimMessage, TimerId};
+use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
 use fastbft_types::{Config, ProcessId, Value};
 
 use crate::machine::StateMachine;
 
-/// A consensus message tagged with its log slot.
+/// A frame of the replicated state machine: consensus traffic tagged with
+/// its log slot, plus the checkpoint / state-transfer control plane.
+// `Consensus` dominates the traffic, so the enum's size IS the consensus
+// frame's size — boxing `Message` to appease `large_enum_variant` would
+// buy nothing but a heap allocation per hot-path message.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
-pub struct SlotMessage {
-    /// The log position this message belongs to.
-    pub slot: u64,
-    /// The inner consensus message.
-    pub inner: Message,
+pub enum SlotMessage {
+    /// A consensus message for one log position.
+    Consensus {
+        /// The log position this message belongs to.
+        slot: u64,
+        /// The inner consensus message.
+        inner: Message,
+    },
+    /// "I snapshotted at `upto` and attest its payload digest": broadcast
+    /// after every local snapshot, collected by peers so any of them can
+    /// later serve that snapshot with f+1 attestations attached.
+    Checkpoint {
+        /// First slot *not* covered by the snapshot.
+        upto: u64,
+        /// Digest of the canonical snapshot payload bytes.
+        digest: Digest,
+        /// Signature over `(domain, upto, digest)` by the checkpointing
+        /// process.
+        sig: Signature,
+    },
+    /// "Send me everything after `have`": a recovering replica asking peers
+    /// for their latest snapshot and committed suffix.
+    SnapshotRequest {
+        /// The requester's next unapplied slot.
+        have: u64,
+    },
+    /// A snapshot with its attestations; installable once `sigs` holds f+1
+    /// valid checkpoint signatures from distinct processes over the payload
+    /// digest.
+    SnapshotResponse {
+        /// First slot not covered by the payload.
+        upto: u64,
+        /// Canonical `SnapshotPayload` bytes.
+        payload: Vec<u8>,
+        /// Checkpoint signatures over the payload digest.
+        sigs: Vec<Signature>,
+    },
+    /// One committed slot value, replayed for a recovering peer. Applied
+    /// only once f+1 distinct senders agree on the value (the transport
+    /// authenticates senders; f+1 matching copies pin at least one correct
+    /// replica's committed value).
+    Backfill {
+        /// The slot the value was committed in.
+        slot: u64,
+        /// The committed value.
+        value: Value,
+    },
 }
 
 impl SimMessage for SlotMessage {
     fn kind(&self) -> &'static str {
-        self.inner.kind()
+        match self {
+            SlotMessage::Consensus { inner, .. } => inner.kind(),
+            SlotMessage::Checkpoint { .. } => "checkpoint",
+            SlotMessage::SnapshotRequest { .. } => "snap-request",
+            SlotMessage::SnapshotResponse { .. } => "snap-response",
+            SlotMessage::Backfill { .. } => "backfill",
+        }
     }
 
     fn wire_size(&self) -> usize {
-        8 + self.inner.wire_size()
+        match self {
+            SlotMessage::Consensus { inner, .. } => 1 + 8 + inner.wire_size(),
+            SlotMessage::Checkpoint { .. } => 1 + 8 + 32 + Signature::WIRE_SIZE,
+            SlotMessage::SnapshotRequest { .. } => 1 + 8,
+            SlotMessage::SnapshotResponse { payload, sigs, .. } => {
+                1 + 8 + 4 + payload.len() + 4 + sigs.len() * Signature::WIRE_SIZE
+            }
+            SlotMessage::Backfill { value, .. } => 1 + 8 + 4 + value.as_bytes().len(),
+        }
     }
 }
 
-// Wire encoding: a slot tag followed by the canonical message encoding, so
-// slot-tagged frames travel the authenticated TCP transport exactly like
-// single-shot `Message` frames do.
-fastbft_types::impl_wire_struct!(SlotMessage { slot, inner });
+// Wire encoding: a variant tag, then the variant fields in declaration
+// order — the same canonical-strict discipline as `Message`, so slot-tagged
+// frames travel the authenticated TCP transport unchanged.
+impl Encode for SlotMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            SlotMessage::Consensus { slot, inner } => {
+                buf.push(1);
+                slot.encode(buf);
+                inner.encode(buf);
+            }
+            SlotMessage::Checkpoint { upto, digest, sig } => {
+                buf.push(2);
+                upto.encode(buf);
+                digest.encode(buf);
+                sig.encode(buf);
+            }
+            SlotMessage::SnapshotRequest { have } => {
+                buf.push(3);
+                have.encode(buf);
+            }
+            SlotMessage::SnapshotResponse {
+                upto,
+                payload,
+                sigs,
+            } => {
+                buf.push(4);
+                upto.encode(buf);
+                payload.encode(buf);
+                sigs.encode(buf);
+            }
+            SlotMessage::Backfill { slot, value } => {
+                buf.push(5);
+                slot.encode(buf);
+                value.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for SlotMessage {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            1 => SlotMessage::Consensus {
+                slot: u64::decode(r)?,
+                inner: Message::decode(r)?,
+            },
+            2 => SlotMessage::Checkpoint {
+                upto: u64::decode(r)?,
+                digest: <[u8; 32]>::decode(r)?,
+                sig: Signature::decode(r)?,
+            },
+            3 => SlotMessage::SnapshotRequest {
+                have: u64::decode(r)?,
+            },
+            4 => SlotMessage::SnapshotResponse {
+                upto: u64::decode(r)?,
+                payload: Vec::<u8>::decode(r)?,
+                sigs: Vec::<Signature>::decode(r)?,
+            },
+            5 => SlotMessage::Backfill {
+                slot: u64::decode(r)?,
+                value: Value::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    tag,
+                    context: "SlotMessage",
+                })
+            }
+        })
+    }
+}
 
 /// Magic prefix marking a client-tagged command (see [`tag_command`]).
 const CLIENT_TAG_MAGIC: &[u8; 4] = b"FBC1";
@@ -64,7 +209,7 @@ const CLIENT_TAG_MAGIC: &[u8; 4] = b"FBC1";
 /// semantics. Tagged commands are deduplicated by `(client, seq)` with a
 /// per-client **watermark**, so the dedup state a node keeps for a client is
 /// bounded by that client's out-of-order window instead of growing with the
-/// log (untagged commands fall back to the unbounded content-digest set).
+/// log (untagged commands fall back to the content-digest generations).
 ///
 /// Sequence numbers start at 1; a client reusing a `(client, seq)` pair for
 /// a different body has only itself to hurt (the second body is treated as
@@ -135,21 +280,127 @@ const DEFAULT_PIPELINE_DEPTH: u64 = 16;
 
 /// How many slots ahead of the lowest unapplied slot a node will
 /// instantiate replicas for. Messages beyond the window are buffered.
-const SLOT_WINDOW: u64 = 64;
+pub const SLOT_WINDOW: u64 = 64;
 
 /// Messages for slots at or beyond `applied + MAX_STASH_AHEAD` are dropped
 /// rather than stashed: no correct peer's pipeline runs this far ahead of a
-/// node it shares quorums with, so such traffic is hostile or hopeless.
-const MAX_STASH_AHEAD: u64 = 4 * SLOT_WINDOW;
+/// node it shares quorums with, so such traffic is hostile — or the node
+/// itself has fallen hopelessly behind, which the recovery path (not the
+/// stash) is responsible for fixing.
+pub const MAX_STASH_AHEAD: u64 = 4 * SLOT_WINDOW;
 
 /// Total messages the stash may hold across all slots. When full, messages
 /// for the farthest slots are evicted first — the nearest slots are the
 /// ones that unblock the pipeline.
 const MAX_STASHED_MESSAGES: usize = 4096;
 
+/// Default [`SmrNode::with_snapshot_interval`]: a snapshot every this many
+/// applied slots. Two windows keeps checkpoint overhead negligible while
+/// bounding per-replica dedup/log memory to O(interval).
+pub const DEFAULT_SNAPSHOT_INTERVAL: u64 = 2 * SLOT_WINDOW;
+
+/// A node requests state transfer once f+1 distinct peers claim tips at
+/// least this many slots ahead of it — far enough that normal pipelining
+/// (depth ≤ `SLOT_WINDOW`) never trips it, near enough to recover long
+/// before the stash horizon drops everything.
+const RECOVERY_GAP: u64 = SLOT_WINDOW / 2;
+
+/// Timer id reserved for re-issuing a [`SlotMessage::SnapshotRequest`]
+/// while a recovery gap persists. Slot timers are `slot * TIMER_STRIDE +
+/// gen`, so this value is unreachable by any realistic slot.
+const RECOVERY_TIMER: TimerId = TimerId(u64::MAX);
+
 /// Timer namespace stride: slot id in the high bits, the replica's own
 /// timer generation in the low bits.
 const TIMER_STRIDE: u64 = 1 << 32;
+
+/// Domain-separation prefix for checkpoint attestations (keeps snapshot
+/// signatures from colliding with consensus statements).
+const SNAPSHOT_DOMAIN: &[u8; 8] = b"fbftSNAP";
+
+/// The checkpoint attestation a process broadcasts after snapshotting at
+/// `upto`: a signature over `(domain, upto, payload digest)`. Public so
+/// tests can mint attestations for hand-built snapshots.
+pub fn checkpoint_signature(keys: &KeyPair, upto: u64, digest: &Digest) -> Signature {
+    keys.sign_parts(&[SNAPSHOT_DOMAIN, &upto.to_be_bytes(), digest])
+}
+
+/// Whether a [`SlotMessage::SnapshotResponse`] carries f+1 valid checkpoint
+/// signatures from distinct processes over `payload`'s digest — the
+/// quorum-authentication a recovering node demands before installing (f+1
+/// distinct signers pin at least one correct replica attesting the bytes).
+/// The node additionally requires the payload to parse as a
+/// `SnapshotPayload` whose `upto` matches; any single-byte tamper of a
+/// response breaks the digest (hence every signature) or the strict codec.
+pub fn snapshot_response_valid(
+    dir: &KeyDirectory,
+    f: usize,
+    upto: u64,
+    payload: &[u8],
+    sigs: &[Signature],
+) -> bool {
+    let digest = fastbft_crypto::digest(payload);
+    let mut signers = BTreeSet::new();
+    for sig in sigs {
+        if dir.verify_parts(&[SNAPSHOT_DOMAIN, &upto.to_be_bytes(), &digest], sig) {
+            signers.insert(sig.signer);
+        }
+    }
+    signers.len() > f
+}
+
+/// One client's dedup state inside a snapshot payload.
+#[derive(Debug, PartialEq)]
+struct ClientEntry {
+    client: u64,
+    watermark: u64,
+    above: Vec<u64>,
+}
+
+fastbft_types::impl_wire_struct!(ClientEntry {
+    client,
+    watermark,
+    above
+});
+
+/// The canonical snapshot payload: everything a replica needs to resume
+/// applying from slot `upto`. Canonical because every constituent is
+/// emitted in sorted order from deterministic state, so replicas that
+/// snapshotted at the same boundary produce byte-identical payloads — and
+/// one digest identifies the snapshot cluster-wide.
+#[derive(Debug, PartialEq)]
+struct SnapshotPayload {
+    /// First slot not covered by this snapshot.
+    upto: u64,
+    /// Global log index of the first post-snapshot log entry.
+    log_offset: u64,
+    /// Client (non-filler) commands applied up to `upto`.
+    client_commands: u64,
+    /// [`StateMachine::snapshot`] bytes.
+    machine: Vec<u8>,
+    /// Untagged dedup digests still in their identity window, sorted.
+    dedup: Vec<Digest>,
+    /// Per-client watermark dedup state, sorted by client id.
+    clients: Vec<ClientEntry>,
+}
+
+fastbft_types::impl_wire_struct!(SnapshotPayload {
+    upto,
+    log_offset,
+    client_commands,
+    machine,
+    dedup,
+    clients
+});
+
+/// The latest local snapshot, with the attestations gathered for it.
+struct NodeSnapshot {
+    upto: u64,
+    digest: Digest,
+    payload: Vec<u8>,
+    /// Checkpoint signatures over `digest`, by signer (own included).
+    sigs: BTreeMap<ProcessId, Signature>,
+}
 
 /// One process of the replicated state machine. See module docs.
 pub struct SmrNode<S: StateMachine> {
@@ -183,11 +434,16 @@ pub struct SmrNode<S: StateMachine> {
     /// order under adversarial scheduling).
     propose_cursor: u64,
     /// Digests of applied **untagged** client commands (at-most-once
-    /// guard): 32 bytes per command regardless of command size. Grows with
-    /// the log for untagged traffic; clients that want bounded dedup state
-    /// tag their commands (see [`tag_command`]) and land in `clients`
-    /// instead.
-    applied_cmds: HashSet<fastbft_crypto::Digest>,
+    /// guard), current generation: 32 bytes per command regardless of
+    /// command size. Rotated into `applied_cmds_old` at each snapshot, so
+    /// the state is bounded by two snapshot intervals instead of growing
+    /// with the log; clients that need exact at-most-once over unbounded
+    /// horizons tag their commands (see [`tag_command`]) and land in
+    /// `clients` instead.
+    applied_cmds: HashSet<Digest>,
+    /// Previous-generation untagged dedup digests (dropped at the next
+    /// rotation).
+    applied_cmds_old: HashSet<Digest>,
     /// Watermarked at-most-once state for **tagged** commands, per client:
     /// bounded by each client's out-of-order window, pruned as the
     /// watermark advances.
@@ -196,10 +452,39 @@ pub struct SmrNode<S: StateMachine> {
     stashed: BTreeMap<u64, Vec<(ProcessId, Message)>>,
     /// Total messages across all `stashed` buckets.
     stashed_total: usize,
-    /// The applied command log (for cross-replica assertions).
+    /// The applied command log *since the last snapshot* (for cross-replica
+    /// assertions); entries below were truncated into the snapshot.
     log: Vec<Value>,
-    /// Client (non-idle) commands applied — the log length minus filler.
+    /// Global log index of `log[0]` — total entries truncated so far.
+    log_offset: u64,
+    /// Client (non-idle) commands applied — the global log length minus
+    /// filler.
     client_commands: u64,
+    /// Snapshot cadence in applied slots (see `DEFAULT_SNAPSHOT_INTERVAL`).
+    snapshot_interval: u64,
+    /// Latest snapshot taken or installed, with gathered attestations.
+    snapshot: Option<NodeSnapshot>,
+    /// Checkpoint attestations that arrived for boundaries we haven't
+    /// reached yet: per signer, the last two `(upto, digest, sig)` triples
+    /// (bounded — a Byzantine signer can only evict its own entries).
+    pending_attest: HashMap<ProcessId, VecDeque<(u64, Digest, Signature)>>,
+    /// Committed values for slots `>= snapshot.upto` — the suffix served to
+    /// recovering peers as backfill. Pruned at each snapshot, so it holds
+    /// at most one interval of values.
+    committed_tail: BTreeMap<u64, Value>,
+    /// Highest slot each peer has demonstrably worked on (from consensus
+    /// frame slot tags; transport-authenticated).
+    peer_tips: HashMap<ProcessId, u64>,
+    /// Whether a snapshot request is outstanding (cleared when the retry
+    /// timer fires; prevents request spam while behind).
+    recovery_armed: bool,
+    /// Per-requester `(have, upto, applied)` of the last served snapshot
+    /// request — identical re-requests are dropped, bounding response
+    /// amplification from a request-spamming peer.
+    served: HashMap<ProcessId, (u64, u64, u64)>,
+    /// Backfill votes: slot → sender → claimed committed value. A value is
+    /// applied once f+1 distinct senders agree on it.
+    backfill: BTreeMap<u64, HashMap<ProcessId, Value>>,
 }
 
 impl<S: StateMachine> SmrNode<S> {
@@ -228,11 +513,21 @@ impl<S: StateMachine> SmrNode<S> {
             in_flight: BTreeMap::new(),
             propose_cursor: 0,
             applied_cmds: HashSet::new(),
+            applied_cmds_old: HashSet::new(),
             clients: HashMap::new(),
             stashed: BTreeMap::new(),
             stashed_total: 0,
             log: Vec::new(),
+            log_offset: 0,
             client_commands: 0,
+            snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+            snapshot: None,
+            pending_attest: HashMap::new(),
+            committed_tail: BTreeMap::new(),
+            peer_tips: HashMap::new(),
+            recovery_armed: false,
+            served: HashMap::new(),
+            backfill: BTreeMap::new(),
         }
     }
 
@@ -272,6 +567,28 @@ impl<S: StateMachine> SmrNode<S> {
         self
     }
 
+    /// Snapshot every `interval` applied slots. Default 128
+    /// ([`DEFAULT_SNAPSHOT_INTERVAL`]). Smaller intervals bound memory and
+    /// recovery time tighter at the cost of more frequent checkpoint
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= interval <= MAX_STASH_AHEAD / 2` — the committed
+    /// tail a recovering peer must absorb spans at most one interval past
+    /// the snapshot point, and it has to fit inside the stash/backfill
+    /// horizon or catch-up could never complete.
+    #[must_use]
+    pub fn with_snapshot_interval(mut self, interval: u64) -> Self {
+        assert!(
+            (1..=MAX_STASH_AHEAD / 2).contains(&interval),
+            "snapshot interval must be in 1..={}",
+            MAX_STASH_AHEAD / 2
+        );
+        self.snapshot_interval = interval;
+        self
+    }
+
     /// Number of *slots* applied so far.
     pub fn applied(&self) -> u64 {
         self.applied
@@ -284,9 +601,33 @@ impl<S: StateMachine> SmrNode<S> {
         self.client_commands
     }
 
-    /// The applied command log.
+    /// The applied command log since the last snapshot (entries below
+    /// [`log_offset`](Self::log_offset) were truncated into it).
     pub fn log(&self) -> &[Value] {
         &self.log
+    }
+
+    /// Global log index of `log()[0]`: how many applied entries snapshots
+    /// have truncated away.
+    pub fn log_offset(&self) -> u64 {
+        self.log_offset
+    }
+
+    /// The snapshot boundary (first uncovered slot) of the latest snapshot
+    /// taken or installed, if any.
+    pub fn snapshot_upto(&self) -> Option<u64> {
+        self.snapshot.as_ref().map(|s| s.upto)
+    }
+
+    /// Digest of the machine state (cross-replica equality assertions).
+    pub fn state_digest(&self) -> Digest {
+        self.machine.state_digest()
+    }
+
+    /// Committed-suffix entries currently retained for serving backfill
+    /// (bounded by the snapshot interval).
+    pub fn tail_len(&self) -> usize {
+        self.committed_tail.len()
     }
 
     /// The state machine (for assertions).
@@ -401,14 +742,14 @@ impl<S: StateMachine> SmrNode<S> {
             match effect {
                 Outgoing::To(to, msg) => fx.send(
                     *to,
-                    SlotMessage {
+                    SlotMessage::Consensus {
                         slot,
                         inner: msg.clone(),
                     },
                 ),
                 // Keep broadcasts structural through the slot wrapper so
                 // the transport still encodes the payload only once.
-                Outgoing::All(msg) => fx.broadcast(SlotMessage {
+                Outgoing::All(msg) => fx.broadcast(SlotMessage::Consensus {
                     slot,
                     inner: msg.clone(),
                 }),
@@ -427,16 +768,20 @@ impl<S: StateMachine> SmrNode<S> {
     /// followed by `mark_applied` on the same decoded command hashes once,
     /// and a command digested by the protocol layer is never re-hashed
     /// here).
-    fn command_key(cmd: &Value) -> fastbft_crypto::Digest {
+    fn command_key(cmd: &Value) -> Digest {
         *fastbft_crypto::value_digest(cmd)
     }
 
     /// Whether a client command was already executed — by `(client, seq)`
-    /// watermark for tagged commands, by content digest for untagged ones.
+    /// watermark for tagged commands, by content digest (either dedup
+    /// generation) for untagged ones.
     fn command_applied(&self, cmd: &Value) -> bool {
         match parse_client_tag(cmd) {
             Some((client, seq)) => self.clients.get(&client).is_some_and(|d| d.contains(seq)),
-            None => self.applied_cmds.contains(&Self::command_key(cmd)),
+            None => {
+                let key = Self::command_key(cmd);
+                self.applied_cmds.contains(&key) || self.applied_cmds_old.contains(&key)
+            }
         }
     }
 
@@ -450,13 +795,15 @@ impl<S: StateMachine> SmrNode<S> {
         }
     }
 
-    /// Size of the at-most-once dedup state: untagged digests plus
-    /// above-watermark seqs across clients. For a workload of tagged,
-    /// eventually-contiguous sequence numbers this returns to **zero** —
-    /// the watermarks prune everything — where digest-only dedup grew one
-    /// entry per command forever.
+    /// Size of the at-most-once dedup state: untagged digests across both
+    /// generations plus above-watermark seqs across clients. For a workload
+    /// of tagged, eventually-contiguous sequence numbers this returns to
+    /// **zero** — the watermarks prune everything; for untagged traffic it
+    /// is bounded by two snapshot intervals' worth of commands.
     pub fn dedup_entries(&self) -> usize {
-        self.applied_cmds.len() + self.clients.values().map(|d| d.above.len()).sum::<usize>()
+        self.applied_cmds.len()
+            + self.applied_cmds_old.len()
+            + self.clients.values().map(|d| d.above.len()).sum::<usize>()
     }
 
     /// Applies one decided command: at-most-once by identity for client
@@ -474,7 +821,7 @@ impl<S: StateMachine> SmrNode<S> {
             self.client_commands += 1;
         }
         self.machine.apply(&cmd);
-        fx.record_applied(self.log.len() as u64, &cmd);
+        fx.record_applied(self.log_offset + self.log.len() as u64, &cmd);
         self.log.push(cmd);
     }
 
@@ -483,13 +830,20 @@ impl<S: StateMachine> SmrNode<S> {
             return;
         }
         self.decided.insert(slot, value);
-        // Apply every now-contiguous decided slot in order, one command at
-        // a time (a slot carries a batch).
+        self.advance(fx);
+    }
+
+    /// Applies every now-contiguous decided slot in order, snapshots at
+    /// interval boundaries, and keeps the pipeline and stash moving.
+    fn advance(&mut self, fx: &mut Effects<SlotMessage>) {
+        // Apply contiguous decided slots, one command at a time (a slot
+        // carries a batch).
         while let Some(value) = self.decided.remove(&self.applied) {
             let slot = self.applied;
             for cmd in Self::decode_batch(&value) {
                 self.apply_command(cmd, fx);
             }
+            self.committed_tail.insert(slot, value);
             // Commands this node drained into the slot that the decided
             // value did not commit (another proposal won, or an earlier
             // slot already executed them) go back to the queue front.
@@ -502,6 +856,9 @@ impl<S: StateMachine> SmrNode<S> {
             }
             self.slots.remove(&slot);
             self.applied += 1;
+            if self.applied.is_multiple_of(self.snapshot_interval) {
+                self.take_snapshot(fx);
+            }
         }
         // Keep the pipeline going while there is work; quiesce when idle
         // (a client submission re-opens the pipeline via `on_client`).
@@ -520,6 +877,8 @@ impl<S: StateMachine> SmrNode<S> {
             let bucket = self.stashed.remove(&stale).expect("key just read");
             self.stashed_total -= bucket.len();
         }
+        // Same for backfill votes on settled slots.
+        self.backfill = self.backfill.split_off(&self.applied);
         // The window may have moved: drain newly eligible stashes.
         let eligible: Vec<u64> = self
             .stashed
@@ -532,29 +891,304 @@ impl<S: StateMachine> SmrNode<S> {
         }
     }
 
-    /// Buffers a beyond-window message, enforcing both stash bounds.
-    fn stash(&mut self, slot: u64, from: ProcessId, msg: Message) {
-        if slot >= self.applied + MAX_STASH_AHEAD {
-            return; // hostile or hopeless: nobody correct is this far ahead
+    /// Builds the canonical snapshot payload for the current state (must be
+    /// called exactly at a slot boundary, right after dedup rotation).
+    fn build_payload(&self, upto: u64) -> Vec<u8> {
+        let mut dedup: Vec<Digest> = self
+            .applied_cmds
+            .iter()
+            .chain(self.applied_cmds_old.iter())
+            .copied()
+            .collect();
+        dedup.sort_unstable();
+        let mut clients: Vec<ClientEntry> = self
+            .clients
+            .iter()
+            .map(|(client, d)| ClientEntry {
+                client: *client,
+                watermark: d.watermark,
+                above: d.above.iter().copied().collect(),
+            })
+            .collect();
+        clients.sort_unstable_by_key(|e| e.client);
+        fastbft_types::wire::to_bytes(&SnapshotPayload {
+            upto,
+            log_offset: self.log_offset,
+            client_commands: self.client_commands,
+            machine: self.machine.snapshot(),
+            dedup,
+            clients,
+        })
+    }
+
+    /// Checkpoints at the current (interval-aligned) apply point: truncates
+    /// log/tail/dedup state below it, stores the snapshot, and broadcasts a
+    /// signed attestation.
+    fn take_snapshot(&mut self, fx: &mut Effects<SlotMessage>) {
+        let upto = self.applied;
+        // Truncate everything the snapshot now covers.
+        self.log_offset += self.log.len() as u64;
+        self.log.clear();
+        self.committed_tail = self.committed_tail.split_off(&upto);
+        // Rotate dedup generations: the previous generation ages out, the
+        // current one becomes "old". Replicas rotate at identical
+        // boundaries, so the reachable dedup set stays identical
+        // cluster-wide (determinism).
+        self.applied_cmds_old = mem::take(&mut self.applied_cmds);
+        let payload = self.build_payload(upto);
+        let digest = fastbft_crypto::digest(&payload);
+        let sig = checkpoint_signature(&self.keys, upto, &digest);
+        let mut sigs = BTreeMap::new();
+        sigs.insert(self.keys.id(), sig.clone());
+        // Merge attestations peers broadcast before we reached this
+        // boundary; drop everything at or below it (consumed or stale).
+        for queue in self.pending_attest.values_mut() {
+            queue.retain(|(at, d, s)| {
+                if *at == upto && *d == digest {
+                    sigs.insert(s.signer, s.clone());
+                }
+                *at > upto
+            });
         }
-        while self.stashed_total >= MAX_STASHED_MESSAGES {
-            // Evict from the farthest slot; if the newcomer *is* the
-            // farthest, drop it instead.
-            let Some((&farthest, _)) = self.stashed.iter().next_back() else {
-                break;
-            };
-            if farthest <= slot {
+        self.snapshot = Some(NodeSnapshot {
+            upto,
+            digest,
+            payload,
+            sigs,
+        });
+        fx.broadcast(SlotMessage::Checkpoint { upto, digest, sig });
+    }
+
+    /// Handles a peer's checkpoint attestation: merged into the matching
+    /// local snapshot, or parked (bounded per signer) until we reach that
+    /// boundary ourselves.
+    fn on_checkpoint(&mut self, from: ProcessId, upto: u64, digest: Digest, sig: Signature) {
+        if sig.signer != from
+            || !self
+                .dir
+                .verify_parts(&[SNAPSHOT_DOMAIN, &upto.to_be_bytes(), &digest], &sig)
+        {
+            return;
+        }
+        if let Some(snap) = &mut self.snapshot {
+            if snap.upto == upto {
+                // A verified attestation for our boundary with a different
+                // digest would mean state divergence; such signatures are
+                // simply not collected (they could never help a requester).
+                if snap.digest == digest {
+                    snap.sigs.insert(from, sig);
+                }
                 return;
             }
-            let bucket = self.stashed.get_mut(&farthest).expect("key just read");
-            bucket.pop();
-            self.stashed_total -= 1;
-            if bucket.is_empty() {
-                self.stashed.remove(&farthest);
+            if upto < snap.upto {
+                return; // stale boundary
             }
         }
-        self.stashed.entry(slot).or_default().push((from, msg));
-        self.stashed_total += 1;
+        let queue = self.pending_attest.entry(from).or_default();
+        queue.retain(|(at, _, _)| *at != upto);
+        queue.push_back((upto, digest, sig));
+        while queue.len() > 2 {
+            queue.pop_front();
+        }
+    }
+
+    /// Serves a recovering peer: the latest attested snapshot (if it covers
+    /// anything the requester lacks) plus the committed suffix, slot by
+    /// slot. Identical re-requests against unchanged local state are
+    /// dropped (amplification bound).
+    fn on_snapshot_request(&mut self, from: ProcessId, have: u64, fx: &mut Effects<SlotMessage>) {
+        if from == fx.id() {
+            return;
+        }
+        let snap_upto = self.snapshot.as_ref().map_or(0, |s| s.upto);
+        let state = (have, snap_upto, self.applied);
+        if self.served.get(&from) == Some(&state) {
+            return;
+        }
+        self.served.insert(from, state);
+        if let Some(snap) = &self.snapshot {
+            // Without f+1 attestations the requester would reject the
+            // response; its retry timer will re-ask once more checkpoints
+            // arrive here.
+            if snap.upto > have && snap.sigs.len() > self.cfg.f() {
+                fx.send(
+                    from,
+                    SlotMessage::SnapshotResponse {
+                        upto: snap.upto,
+                        payload: snap.payload.clone(),
+                        sigs: snap.sigs.values().cloned().collect(),
+                    },
+                );
+            }
+        }
+        // The committed suffix the requester is missing (at most one
+        // snapshot interval of values).
+        for (&slot, value) in self.committed_tail.range(have..) {
+            fx.send(
+                from,
+                SlotMessage::Backfill {
+                    slot,
+                    value: value.clone(),
+                },
+            );
+        }
+    }
+
+    /// Installs a quorum-attested snapshot that is ahead of us: restores
+    /// the machine, adopts the dedup/log bookkeeping, discards everything
+    /// below the boundary, and adopts the snapshot as our own (we can now
+    /// serve it too).
+    fn on_snapshot_response(
+        &mut self,
+        upto: u64,
+        payload: Vec<u8>,
+        sigs: Vec<Signature>,
+        fx: &mut Effects<SlotMessage>,
+    ) {
+        if upto <= self.applied
+            || !snapshot_response_valid(&self.dir, self.cfg.f(), upto, &payload, &sigs)
+        {
+            return;
+        }
+        let Ok(parsed) = fastbft_types::wire::from_bytes::<SnapshotPayload>(&payload) else {
+            return;
+        };
+        if parsed.upto != upto {
+            return;
+        }
+        // Machine first: restore is atomic, so a machine-level rejection
+        // leaves this node fully unchanged.
+        if !self.machine.restore(&parsed.machine) {
+            return;
+        }
+        let digest = fastbft_crypto::digest(&payload);
+        self.applied = upto;
+        self.log.clear();
+        self.log_offset = parsed.log_offset;
+        self.client_commands = parsed.client_commands;
+        self.applied_cmds_old = parsed.dedup.into_iter().collect();
+        self.applied_cmds = HashSet::new();
+        self.clients = parsed
+            .clients
+            .into_iter()
+            .map(|e| {
+                (
+                    e.client,
+                    ClientDedup {
+                        watermark: e.watermark,
+                        above: e.above.into_iter().collect(),
+                    },
+                )
+            })
+            .collect();
+        // Slots below the boundary are settled by the snapshot: re-queue
+        // our drained commands the snapshot did not execute, drop the rest
+        // of the per-slot state.
+        let keep = self.in_flight.split_off(&upto);
+        for (_, cmds) in mem::replace(&mut self.in_flight, keep) {
+            for cmd in cmds.into_iter().rev() {
+                if !self.command_applied(&cmd) {
+                    self.pending.push_front(cmd);
+                }
+            }
+        }
+        self.slots = self.slots.split_off(&upto);
+        self.decided = self.decided.split_off(&upto);
+        self.committed_tail = self.committed_tail.split_off(&upto);
+        self.backfill = self.backfill.split_off(&upto);
+        self.propose_cursor = self.propose_cursor.max(upto);
+        while let Some((&stale, _)) = self.stashed.iter().next() {
+            if stale >= upto {
+                break;
+            }
+            let bucket = self.stashed.remove(&stale).expect("key just read");
+            self.stashed_total -= bucket.len();
+        }
+        // Adopt the snapshot: keep the valid received attestations, add our
+        // own (we now vouch for this state, and can serve it onward).
+        let mut sigmap = BTreeMap::new();
+        for sig in sigs {
+            if self
+                .dir
+                .verify_parts(&[SNAPSHOT_DOMAIN, &upto.to_be_bytes(), &digest], &sig)
+            {
+                sigmap.insert(sig.signer, sig);
+            }
+        }
+        let own = checkpoint_signature(&self.keys, upto, &digest);
+        sigmap.insert(own.signer, own);
+        self.snapshot = Some(NodeSnapshot {
+            upto,
+            digest,
+            payload,
+            sigs: sigmap,
+        });
+        // Anything decided/backfilled at or past the boundary may now be
+        // contiguous.
+        self.advance(fx);
+    }
+
+    /// Collects one backfill vote; applies the value once f+1 distinct
+    /// senders agree on it (at least one of them is correct, and a correct
+    /// replica only backfills values it committed).
+    fn on_backfill(
+        &mut self,
+        from: ProcessId,
+        slot: u64,
+        value: Value,
+        fx: &mut Effects<SlotMessage>,
+    ) {
+        if from == fx.id()
+            || slot < self.applied
+            || slot >= self.applied + MAX_STASH_AHEAD
+            || self.decided.contains_key(&slot)
+        {
+            return;
+        }
+        let votes = self.backfill.entry(slot).or_default();
+        votes.insert(from, value.clone());
+        let matching = votes.values().filter(|v| **v == value).count();
+        if matching > self.cfg.f() {
+            self.backfill.remove(&slot);
+            self.on_slot_decided(slot, value, fx);
+        }
+    }
+
+    /// Tracks the highest slot `from` has demonstrably worked on, and
+    /// checks the recovery trigger when the claim is far ahead. The guard
+    /// keeps this off the steady-state hot path: pipelined peers never run
+    /// `RECOVERY_GAP` ahead of a node they share quorums with.
+    fn note_peer_tip(&mut self, from: ProcessId, slot: u64, fx: &mut Effects<SlotMessage>) {
+        if from == fx.id() {
+            return;
+        }
+        let tip = self.peer_tips.entry(from).or_insert(0);
+        if slot > *tip {
+            *tip = slot;
+        }
+        if !self.recovery_armed && slot >= self.applied + RECOVERY_GAP {
+            self.maybe_recover(fx);
+        }
+    }
+
+    /// The (f+1)-th largest peer-claimed tip: at least one *correct*
+    /// replica is really working at or past this slot.
+    fn quorum_tip(&self) -> u64 {
+        let mut tips: Vec<u64> = self.peer_tips.values().copied().collect();
+        tips.sort_unstable_by(|a, b| b.cmp(a));
+        tips.get(self.cfg.f()).copied().unwrap_or(0)
+    }
+
+    /// Requests state transfer if f+1 distinct peers are `RECOVERY_GAP`
+    /// ahead (f alone could be Byzantine fiction). Armed until the retry
+    /// timer fires, so a behind node asks at most once per timeout.
+    fn maybe_recover(&mut self, fx: &mut Effects<SlotMessage>) {
+        if self.recovery_armed || self.quorum_tip() < self.applied + RECOVERY_GAP {
+            return;
+        }
+        self.recovery_armed = true;
+        fx.broadcast_others(SlotMessage::SnapshotRequest { have: self.applied });
+        fx.set_timer(self.opts.base_timeout, RECOVERY_TIMER);
     }
 }
 
@@ -565,22 +1199,52 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
     }
 
     fn on_message(&mut self, from: ProcessId, msg: SlotMessage, fx: &mut Effects<SlotMessage>) {
-        let SlotMessage { slot, inner } = msg;
-        if slot < self.applied {
-            return; // already settled and cleaned up
-        }
-        if !self.slots.contains_key(&slot) && !self.decided.contains_key(&slot) {
-            if slot < self.applied + SLOT_WINDOW {
-                self.open_slot(slot, fx);
-            } else {
-                self.stash(slot, from, inner);
-                return;
+        match msg {
+            SlotMessage::Consensus { slot, inner } => {
+                self.note_peer_tip(from, slot, fx);
+                if slot < self.applied {
+                    return; // already settled and cleaned up
+                }
+                if !self.slots.contains_key(&slot) && !self.decided.contains_key(&slot) {
+                    if slot < self.applied + SLOT_WINDOW {
+                        self.open_slot(slot, fx);
+                    } else {
+                        self.stash(slot, from, inner);
+                        return;
+                    }
+                }
+                self.deliver(slot, from, inner, fx);
+            }
+            SlotMessage::Checkpoint { upto, digest, sig } => {
+                if from != fx.id() {
+                    self.note_peer_tip(from, upto, fx);
+                    self.on_checkpoint(from, upto, digest, sig);
+                }
+            }
+            SlotMessage::SnapshotRequest { have } => {
+                self.on_snapshot_request(from, have, fx);
+            }
+            SlotMessage::SnapshotResponse {
+                upto,
+                payload,
+                sigs,
+            } => {
+                self.on_snapshot_response(upto, payload, sigs, fx);
+            }
+            SlotMessage::Backfill { slot, value } => {
+                self.on_backfill(from, slot, value, fx);
             }
         }
-        self.deliver(slot, from, inner, fx);
     }
 
     fn on_timer(&mut self, timer: TimerId, fx: &mut Effects<SlotMessage>) {
+        if timer == RECOVERY_TIMER {
+            // Still behind? Ask again (responders re-serve because our
+            // `have` or their state will have moved).
+            self.recovery_armed = false;
+            self.maybe_recover(fx);
+            return;
+        }
         let slot = timer.0 / TIMER_STRIDE;
         let inner_timer = TimerId(timer.0 % TIMER_STRIDE);
         let Some(replica) = self.slots.get_mut(&slot) else {
@@ -604,5 +1268,35 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+}
+
+impl<S: StateMachine> SmrNode<S> {
+    /// Buffers a beyond-window message, enforcing both stash bounds.
+    fn stash(&mut self, slot: u64, from: ProcessId, msg: Message) {
+        if slot >= self.applied + MAX_STASH_AHEAD {
+            // Hostile traffic — or this node is hopelessly behind, which
+            // the recovery path (triggered by `note_peer_tip` on this same
+            // frame) fixes via state transfer; stashing could not.
+            return;
+        }
+        while self.stashed_total >= MAX_STASHED_MESSAGES {
+            // Evict from the farthest slot; if the newcomer *is* the
+            // farthest, drop it instead.
+            let Some((&farthest, _)) = self.stashed.iter().next_back() else {
+                break;
+            };
+            if farthest <= slot {
+                return;
+            }
+            let bucket = self.stashed.get_mut(&farthest).expect("key just read");
+            bucket.pop();
+            self.stashed_total -= 1;
+            if bucket.is_empty() {
+                self.stashed.remove(&farthest);
+            }
+        }
+        self.stashed.entry(slot).or_default().push((from, msg));
+        self.stashed_total += 1;
     }
 }

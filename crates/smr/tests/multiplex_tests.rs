@@ -138,17 +138,36 @@ fn kv_delete_of_missing_key_is_consistent() {
 fn slot_messages_roundtrip_on_the_wire() {
     // The slot tag + canonical inner encoding is what `fastbft-net` frames
     // carry for the runtime SMR cluster.
-    fastbft_types::wire::roundtrip(&SlotMessage {
+    fastbft_types::wire::roundtrip(&SlotMessage::Consensus {
         slot: 9,
         inner: Message::Wish(WishMsg { view: View::FIRST }),
     });
-    fastbft_types::wire::roundtrip(&SlotMessage {
+    fastbft_types::wire::roundtrip(&SlotMessage::Consensus {
         slot: u64::MAX,
         inner: Message::Ack(AckMsg {
             value: Value::from_u64(77),
             view: View::FIRST,
             share: None,
         }),
+    });
+    // The state-transfer control plane rides the same wire.
+    let (pairs, _dir) = KeyDirectory::generate(4, 3);
+    let digest = fastbft_crypto::digest(b"snapshot payload");
+    let sig = fastbft_smr::checkpoint_signature(&pairs[0], 128, &digest);
+    fastbft_types::wire::roundtrip(&SlotMessage::Checkpoint {
+        upto: 128,
+        digest,
+        sig: sig.clone(),
+    });
+    fastbft_types::wire::roundtrip(&SlotMessage::SnapshotRequest { have: 7 });
+    fastbft_types::wire::roundtrip(&SlotMessage::SnapshotResponse {
+        upto: 128,
+        payload: b"snapshot payload".to_vec(),
+        sigs: vec![sig],
+    });
+    fastbft_types::wire::roundtrip(&SlotMessage::Backfill {
+        slot: 130,
+        value: Value::from_u64(9),
     });
 }
 
@@ -169,7 +188,7 @@ fn stash_is_bounded_against_slot_spray() {
     );
     let mut fx = Effects::new(ProcessId(1), 4, SimTime::ZERO);
     node.on_start(&mut fx);
-    let spray = |slot: u64| SlotMessage {
+    let spray = |slot: u64| SlotMessage::Consensus {
         slot,
         inner: Message::Wish(WishMsg { view: View::FIRST }),
     };

@@ -51,7 +51,7 @@ fn overlapping_slots_never_commit_a_command_twice() {
     cluster.inject_message(
         ProcessId(1),
         ProcessId(3),
-        SlotMessage {
+        SlotMessage::Consensus {
             slot: 1,
             inner: Message::Wish(WishMsg { view: View::FIRST }),
         },

@@ -288,6 +288,21 @@ impl Encode for [u8] {
     }
 }
 
+/// 32-byte arrays (digests) travel as raw bytes — their length is part of
+/// the type, so a length prefix would only add redundancy (and a second,
+/// non-canonical encoding of the same value).
+impl Encode for [u8; 32] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+}
+
+impl Decode for [u8; 32] {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(r.take(32)?.try_into().expect("sized take"))
+    }
+}
+
 impl Encode for str {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.as_bytes().encode(buf);

@@ -1,0 +1,18 @@
+//! Not a test — a guard rail for the root-package footgun.
+//!
+//! `cargo test` at the workspace root runs only this facade package's
+//! suites (the `tests/` directory plus the facade's unit tests), *not* the
+//! member crates' suites under `crates/*`. Because this binary opts out of
+//! the libtest harness, its output is printed even under `-q`, so a plain
+//! root `cargo test -q` can never be mistaken for the full suite. It never
+//! fails.
+
+fn main() {
+    let bar = "=".repeat(62);
+    eprintln!(
+        "\n{bar}\n\
+         NOTE  `cargo test` in the workspace root runs ONLY the facade\n\
+         package's integration suites (tests/), not the member crates\n\
+         under crates/*.\n\nThe canonical full suite is:\n\n    cargo test --workspace -q\n{bar}\n"
+    );
+}
