@@ -163,19 +163,52 @@ fn one_trial(p: SweepPoint, seed: u64) -> Throughput {
     }
 }
 
-/// Best of [`TRIALS`] runs of one configuration (see methodology note).
-fn runtime_throughput(p: SweepPoint, seed: u64) -> Throughput {
-    (0..TRIALS)
-        .map(|t| one_trial(p, seed + t as u64))
+/// All [`TRIALS`] runs of one configuration: the best (the reported
+/// number, per the methodology note) plus every run's throughput, so the
+/// JSON output carries the trial-to-trial spread — the reader can judge
+/// how noisy the runner was instead of trusting a single scalar.
+struct TrialSet {
+    best: Throughput,
+    /// Per-run commands/sec, in run order.
+    runs: Vec<f64>,
+}
+
+impl TrialSet {
+    /// (max − min) / max of the per-run throughputs, in percent: 0 means
+    /// perfectly stable trials, large values mean a noisy runner.
+    fn spread_pct(&self) -> f64 {
+        let min = self.runs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.runs.iter().copied().fold(0.0, f64::max);
+        if max > 0.0 {
+            (max - min) / max * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    fn runs_json(&self) -> String {
+        let parts: Vec<String> = self.runs.iter().map(|r| format!("{r:.0}")).collect();
+        format!("[{}]", parts.join(", "))
+    }
+}
+
+/// Best of [`TRIALS`] runs of one configuration (see methodology note),
+/// with the individual runs retained.
+fn runtime_throughput(p: SweepPoint, seed: u64) -> TrialSet {
+    let trials: Vec<Throughput> = (0..TRIALS).map(|t| one_trial(p, seed + t as u64)).collect();
+    let runs = trials.iter().map(|t| t.commands_per_sec).collect();
+    let best = trials
+        .into_iter()
         .max_by(|a, b| a.commands_per_sec.total_cmp(&b.commands_per_sec))
-        .expect("TRIALS >= 1")
+        .expect("TRIALS >= 1");
+    TrialSet { best, runs }
 }
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
 
     // transport × batch sweep on the wall-clock runtime (n = 4, 8 B).
-    let mut results: Vec<(TransportKind, Vec<(usize, Throughput)>)> = Vec::new();
+    let mut results: Vec<(TransportKind, Vec<(usize, TrialSet)>)> = Vec::new();
     for (i, kind) in [TransportKind::Channel, TransportKind::TcpLoopback]
         .into_iter()
         .enumerate()
@@ -196,7 +229,7 @@ fn main() {
     }
 
     // n × payload sweep, both transports, batch {1, 64}.
-    let mut sweep: Vec<(SweepPoint, Throughput)> = Vec::new();
+    let mut sweep: Vec<(SweepPoint, TrialSet)> = Vec::new();
     let mut seed = 900;
     for (n, f) in [(4usize, 1usize), (7, 2)] {
         for payload_bytes in [8usize, 1024] {
@@ -219,13 +252,13 @@ fn main() {
     if json {
         println!("{{");
         println!("  \"bench\": \"smr_throughput\",");
-        println!("  \"version\": 3,");
+        println!("  \"version\": 4,");
         println!(
             "  \"config\": {{\"commands\": {COMMANDS}, \"tick_us\": {}, \"trials\": {TRIALS}}},",
             TICK.as_micros()
         );
         println!(
-            "  \"unit_note\": \"client commands per second until the last replica has applied all of them; best of {TRIALS} trials per configuration (shared-core CI runners have multi-x CPU swings)\","
+            "  \"unit_note\": \"client commands per second until the last replica has applied all of them; best of {TRIALS} trials per configuration (shared-core CI runners have multi-x CPU swings); runs_commands_per_sec lists every trial and spread_pct = (max-min)/max\","
         );
         println!("  \"baseline_pr3\": {{\"tcp_loopback_batch_1\": {PR3_TCP_BATCH1_BASELINE:.0}}},");
         println!(
@@ -234,11 +267,14 @@ fn main() {
         println!("  \"transports\": {{");
         for (i, (kind, per_batch)) in results.iter().enumerate() {
             println!("    \"{}\": {{", kind.label());
-            for (j, (batch, t)) in per_batch.iter().enumerate() {
+            for (j, (batch, ts)) in per_batch.iter().enumerate() {
                 let comma = if j + 1 < per_batch.len() { "," } else { "" };
                 println!(
-                    "      \"batch_{batch}\": {{\"unit\": \"commands_per_sec\", \"commands_per_sec\": {:.0}, \"elapsed_ms\": {:.2}}}{comma}",
-                    t.commands_per_sec, t.elapsed_ms
+                    "      \"batch_{batch}\": {{\"unit\": \"commands_per_sec\", \"commands_per_sec\": {:.0}, \"elapsed_ms\": {:.2}, \"runs_commands_per_sec\": {}, \"spread_pct\": {:.1}}}{comma}",
+                    ts.best.commands_per_sec,
+                    ts.best.elapsed_ms,
+                    ts.runs_json(),
+                    ts.spread_pct()
                 );
             }
             let comma = if i + 1 < results.len() { "," } else { "" };
@@ -246,16 +282,18 @@ fn main() {
         }
         println!("  }},");
         println!("  \"sweep\": [");
-        for (i, (p, t)) in sweep.iter().enumerate() {
+        for (i, (p, ts)) in sweep.iter().enumerate() {
             let comma = if i + 1 < sweep.len() { "," } else { "" };
             println!(
-                "    {{\"n\": {}, \"payload_bytes\": {}, \"transport\": \"{}\", \"batch\": {}, \"commands_per_sec\": {:.0}, \"elapsed_ms\": {:.2}}}{comma}",
+                "    {{\"n\": {}, \"payload_bytes\": {}, \"transport\": \"{}\", \"batch\": {}, \"commands_per_sec\": {:.0}, \"elapsed_ms\": {:.2}, \"runs_commands_per_sec\": {}, \"spread_pct\": {:.1}}}{comma}",
                 p.n,
                 p.payload_bytes,
                 p.kind.label(),
                 p.batch,
-                t.commands_per_sec,
-                t.elapsed_ms
+                ts.best.commands_per_sec,
+                ts.best.elapsed_ms,
+                ts.runs_json(),
+                ts.spread_pct()
             );
         }
         println!("  ]");
@@ -288,17 +326,24 @@ fn main() {
     println!("\nthread runtime, n = 4, 8 B commands, {COMMANDS} commands to full application on all replicas (best of {TRIALS}):");
     println!(
         "{}",
-        header(&["transport", "batch", "commands/sec", "elapsed (ms)"])
+        header(&[
+            "transport",
+            "batch",
+            "commands/sec",
+            "elapsed (ms)",
+            "spread"
+        ])
     );
     for (kind, per_batch) in &results {
-        for (batch, t) in per_batch {
+        for (batch, ts) in per_batch {
             println!(
                 "{}",
                 row(&[
                     kind.label().to_string(),
                     batch.to_string(),
-                    format!("{:.0}", t.commands_per_sec),
-                    format!("{:.2}", t.elapsed_ms),
+                    format!("{:.0}", ts.best.commands_per_sec),
+                    format!("{:.2}", ts.best.elapsed_ms),
+                    format!("{:.1}%", ts.spread_pct()),
                 ])
             );
         }
@@ -307,9 +352,16 @@ fn main() {
     println!("\nn × payload sweep (best of {TRIALS}):");
     println!(
         "{}",
-        header(&["n", "payload", "transport", "batch", "commands/sec"])
+        header(&[
+            "n",
+            "payload",
+            "transport",
+            "batch",
+            "commands/sec",
+            "spread"
+        ])
     );
-    for (p, t) in &sweep {
+    for (p, ts) in &sweep {
         println!(
             "{}",
             row(&[
@@ -317,7 +369,8 @@ fn main() {
                 format!("{} B", p.payload_bytes),
                 p.kind.label().to_string(),
                 p.batch.to_string(),
-                format!("{:.0}", t.commands_per_sec),
+                format!("{:.0}", ts.best.commands_per_sec),
+                format!("{:.1}%", ts.spread_pct()),
             ])
         );
     }

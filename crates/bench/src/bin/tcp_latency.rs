@@ -81,21 +81,41 @@ struct Stats {
     min_us: u128,
     median_us: u128,
     max_us: u128,
+    /// Per-run latencies in run order, before sorting.
+    runs_us: Vec<u128>,
 }
 
-fn stats(mut samples: Vec<Duration>) -> Stats {
-    samples.sort();
+impl Stats {
+    /// (max − min) / max, as a percentage — how noisy this machine was.
+    fn spread_pct(&self) -> f64 {
+        if self.max_us == 0 {
+            return 0.0;
+        }
+        (self.max_us - self.min_us) as f64 / self.max_us as f64 * 100.0
+    }
+}
+
+fn stats(samples: Vec<Duration>) -> Stats {
+    let runs_us: Vec<u128> = samples.iter().map(Duration::as_micros).collect();
+    let mut sorted = runs_us.clone();
+    sorted.sort_unstable();
     Stats {
-        min_us: samples.first().expect("nonempty").as_micros(),
-        median_us: samples[samples.len() / 2].as_micros(),
-        max_us: samples.last().expect("nonempty").as_micros(),
+        min_us: *sorted.first().expect("nonempty"),
+        median_us: sorted[sorted.len() / 2],
+        max_us: *sorted.last().expect("nonempty"),
+        runs_us,
     }
 }
 
 fn json_stats(s: &Stats) -> String {
+    let runs: Vec<String> = s.runs_us.iter().map(u128::to_string).collect();
     format!(
-        "{{\"unit\": \"us\", \"min\": {}, \"median\": {}, \"max\": {}}}",
-        s.min_us, s.median_us, s.max_us
+        "{{\"unit\": \"us\", \"min\": {}, \"median\": {}, \"max\": {}, \"runs\": [{}], \"spread_pct\": {:.1}}}",
+        s.min_us,
+        s.median_us,
+        s.max_us,
+        runs.join(", "),
+        s.spread_pct()
     )
 }
 
@@ -125,7 +145,7 @@ fn main() {
     println!("# n = {N}, f = t = 1, all correct, unanimous inputs, {ITERS} runs\n");
     println!(
         "{}",
-        header(&["transport", "min (µs)", "median (µs)", "max (µs)"])
+        header(&["transport", "min (µs)", "median (µs)", "max (µs)", "spread"])
     );
     for (name, s) in [("channel", &channel), ("tcp loopback", &tcp)] {
         println!(
@@ -135,6 +155,7 @@ fn main() {
                 s.min_us.to_string(),
                 s.median_us.to_string(),
                 s.max_us.to_string(),
+                format!("{:.1}%", s.spread_pct()),
             ])
         );
     }

@@ -1,0 +1,126 @@
+//! Offline stand-in for the [`log`](https://docs.rs/log) facade.
+//!
+//! The workspace builds without registry access, so this shim provides
+//! the `log` macro surface (`error!` … `trace!`) that SNIPPETS-style code
+//! (`trace!("Replica {} <- {:?}", id, msg)`) expects — but instead of a
+//! pluggable logger it routes every record into the
+//! [`fastbft_obs`] **global flight recorder**: each invocation becomes a
+//! structured [`Event`](fastbft_obs::Event) whose `kind` is the level
+//! name, retrievable with [`fastbft_obs::global_recorder`].
+//!
+//! Differences from the real crate: there is no `set_logger` (the sink is
+//! fixed), no module-path/file metadata, and no static max-level
+//! filtering — all levels always record (the recorder ring is bounded,
+//! so an over-chatty call site costs eviction, not memory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Logging levels, mirroring `log::Level`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The "error" level: unrecoverable faults.
+    Error,
+    /// The "warn" level: recoverable anomalies.
+    Warn,
+    /// The "info" level: high-level progress.
+    Info,
+    /// The "debug" level: development diagnostics.
+    Debug,
+    /// The "trace" level: per-message noise.
+    Trace,
+}
+
+impl Level {
+    /// The lowercase level name used as the recorded event's `kind`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The macros' runtime entry point: records one preformatted event into
+/// the global flight recorder. Public because the macros expand to it;
+/// call sites should use the macros.
+pub fn __record(level: Level, args: fmt::Arguments<'_>) {
+    fastbft_obs::record_global(level.as_str(), args);
+}
+
+/// Logs at [`Level::Error`] into the global flight recorder.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)+) => { $crate::__record($crate::Level::Error, format_args!($($arg)+)) };
+}
+
+/// Logs at [`Level::Warn`] into the global flight recorder.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)+) => { $crate::__record($crate::Level::Warn, format_args!($($arg)+)) };
+}
+
+/// Logs at [`Level::Info`] into the global flight recorder.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)+) => { $crate::__record($crate::Level::Info, format_args!($($arg)+)) };
+}
+
+/// Logs at [`Level::Debug`] into the global flight recorder.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)+) => { $crate::__record($crate::Level::Debug, format_args!($($arg)+)) };
+}
+
+/// Logs at [`Level::Trace`] into the global flight recorder.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)+) => { $crate::__record($crate::Level::Trace, format_args!($($arg)+)) };
+}
+
+/// Always true: the shim has no level filtering (see module docs).
+#[macro_export]
+macro_rules! log_enabled {
+    ($($arg:tt)+) => {
+        true
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macros_land_in_global_recorder() {
+        trace!("Replica {} <- {}", 3, "Propose");
+        debug!("stash depth {}", 17);
+        let events = fastbft_obs::global_recorder().snapshot();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == "trace" && e.detail == "Replica 3 <- Propose"));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == "debug" && e.detail == "stash depth 17"));
+        // All levels are always enabled in the shim (no static filtering).
+        let enabled = log_enabled!(Level::Trace);
+        assert!(enabled);
+    }
+
+    #[test]
+    fn level_names() {
+        assert_eq!(Level::Error.as_str(), "error");
+        assert_eq!(Level::Trace.to_string(), "trace");
+        assert!(Level::Error < Level::Trace);
+    }
+}

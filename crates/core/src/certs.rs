@@ -16,8 +16,10 @@ use std::cell::RefCell;
 use std::collections::HashSet;
 
 use fastbft_crypto::{
-    sha256::Sha256, value_digest, Digest, KeyDirectory, KeyPair, Signature, SignatureSet,
+    sha256::Sha256, value_digest, Digest, KeyDirectory, KeyPair, SigVerifyStats, Signature,
+    SignatureSet,
 };
+use fastbft_obs::MetricsHandle;
 use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
 use fastbft_types::{Config, ProcessId, Value, View};
 
@@ -139,7 +141,12 @@ impl ProgressCert {
                     *value_digest(x),
                     encoded_digest(sigs),
                 );
-                cache.check(key, || self.verify(cfg, dir, x, v))
+                cache.check(key, |metrics| {
+                    let stats =
+                        sigs.verify_with_stats(&certack_payload(x, v), dir, cfg.cert_quorum());
+                    note_sig_stats(metrics, stats);
+                    stats.ok
+                })
             }
             ProgressCert::Naive(votes) => {
                 let key = (
@@ -148,7 +155,9 @@ impl ProgressCert {
                     *value_digest(x),
                     encoded_digest(votes),
                 );
-                cache.check(key, || self.verify(cfg, dir, x, v))
+                // The naive scheme's per-vote signatures are not memoized
+                // (E7 ablation path) — no signature-memo stats to record.
+                cache.check(key, |_| self.verify(cfg, dir, x, v))
             }
         }
     }
@@ -186,6 +195,10 @@ type CertFingerprint = (CertKind, View, Digest, Digest);
 #[derive(Debug, Default)]
 pub struct CertCache {
     seen: HashSet<CertFingerprint>,
+    /// Observability handle: cache hits/misses and the signature-memo
+    /// work of cache-missing verifications are recorded here (disabled by
+    /// default — [`CertCache::with_metrics`] enables it).
+    metrics: MetricsHandle,
 }
 
 /// Backstop bound on [`CertCache`] entries; on overflow the memo resets
@@ -196,6 +209,15 @@ impl CertCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         CertCache::default()
+    }
+
+    /// An empty cache that records hits, misses and signature-memo stats
+    /// into `metrics`.
+    pub fn with_metrics(metrics: MetricsHandle) -> Self {
+        CertCache {
+            seen: HashSet::new(),
+            metrics,
+        }
     }
 
     /// Number of memoized certificates (for tests and monitoring).
@@ -209,12 +231,19 @@ impl CertCache {
     }
 
     /// Returns `true` if `key` is memoized; otherwise runs `verify` and
-    /// memoizes a success.
-    fn check(&mut self, key: CertFingerprint, verify: impl FnOnce() -> bool) -> bool {
+    /// memoizes a success. The closure receives the cache's metrics
+    /// handle so verifications can attribute their signature-memo work.
+    fn check(&mut self, key: CertFingerprint, verify: impl FnOnce(&MetricsHandle) -> bool) -> bool {
         if self.seen.contains(&key) {
+            if let Some(m) = self.metrics.get() {
+                m.cert_cache_hit_total.inc();
+            }
             return true;
         }
-        let ok = verify();
+        if let Some(m) = self.metrics.get() {
+            m.cert_cache_miss_total.inc();
+        }
+        let ok = verify(&self.metrics);
         if ok {
             if self.seen.len() >= CERT_CACHE_CAP {
                 self.seen.clear();
@@ -222,6 +251,15 @@ impl CertCache {
             self.seen.insert(key);
         }
         ok
+    }
+}
+
+/// Records one certificate verification's signature-memo split, if the
+/// handle is live.
+fn note_sig_stats(metrics: &MetricsHandle, stats: SigVerifyStats) {
+    if let Some(m) = metrics.get() {
+        m.sig_memo_hit_total.add(stats.memo_hits);
+        m.sig_memo_miss_total.add(stats.fresh_checks);
     }
 }
 
@@ -285,7 +323,15 @@ impl CommitCert {
             *value_digest(&self.value),
             encoded_digest(&self.sigs),
         );
-        cache.check(key, || self.verify(cfg, dir))
+        cache.check(key, |metrics| {
+            let stats = self.sigs.verify_with_stats(
+                &ack_payload(&self.value, self.view),
+                dir,
+                cfg.slow_quorum(),
+            );
+            note_sig_stats(metrics, stats);
+            stats.ok
+        })
     }
 
     /// Encoded size in bytes.

@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 
 use fastbft_crypto::KeyDirectory;
+use fastbft_obs::MetricsRegistry;
 use fastbft_sim::{
     ConsensusChecker, MessageStats, Network, ScriptedActor, SimDuration, SimTime, Simulation,
     Trace, Violation,
@@ -77,6 +78,7 @@ pub struct SimClusterBuilder {
     inputs: Vec<Value>,
     behaviors: BTreeMap<ProcessId, Behavior>,
     options: ReplicaOptions,
+    metrics: Option<MetricsRegistry>,
     horizon: Option<SimTime>,
 }
 
@@ -91,6 +93,7 @@ impl SimClusterBuilder {
             inputs: (1..=cfg.n() as u64).map(Value::from_u64).collect(),
             behaviors: BTreeMap::new(),
             options: ReplicaOptions::default(),
+            metrics: None,
             horizon: None,
         }
     }
@@ -173,6 +176,21 @@ impl SimClusterBuilder {
         self
     }
 
+    /// Attaches a metrics plane: honest replica `p_{i+1}` records into
+    /// `registry.replica(i)`, so a test can attribute each decision to the
+    /// fast or slow path and count view changes per process. The registry
+    /// (or a clone — the sinks are shared) stays with the caller for
+    /// scraping after the run.
+    ///
+    /// # Panics
+    ///
+    /// `build` panics if the registry has fewer replicas than `n`.
+    #[must_use]
+    pub fn metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+
     /// Assembles the cluster.
     pub fn build(self) -> SimCluster {
         let cfg = self.cfg;
@@ -185,6 +203,13 @@ impl SimClusterBuilder {
         let mut sim = Simulation::new(network, self.seed.wrapping_add(1));
         let mut byzantine = Vec::new();
         let mut crashes = Vec::new();
+        if let Some(registry) = &self.metrics {
+            assert!(
+                registry.len() >= cfg.n(),
+                "metrics registry must cover all {} processes",
+                cfg.n()
+            );
+        }
         for p in cfg.processes() {
             let behavior = self.behaviors.get(&p).cloned().unwrap_or_default();
             if behavior.is_byzantine() {
@@ -192,6 +217,10 @@ impl SimClusterBuilder {
             }
             let input = self.inputs[p.index()].clone();
             let keys = pairs[p.index()].clone();
+            let mut options = self.options.clone();
+            if let Some(registry) = &self.metrics {
+                options.metrics = registry.replica(p.index());
+            }
             match behavior {
                 Behavior::Honest => {
                     sim.add_actor(Box::new(Replica::with_options(
@@ -199,7 +228,7 @@ impl SimClusterBuilder {
                         keys,
                         dir.clone(),
                         input,
-                        self.options.clone(),
+                        options,
                     )));
                 }
                 Behavior::CrashAt(at) => {
@@ -208,7 +237,7 @@ impl SimClusterBuilder {
                         keys,
                         dir.clone(),
                         input,
-                        self.options.clone(),
+                        options,
                     )));
                     crashes.push((p, at));
                 }

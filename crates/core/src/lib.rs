@@ -64,5 +64,5 @@ pub mod theory;
 pub use certs::{CertMode, CommitCert, ProgressCert, SignedVote, Vote, VoteData};
 pub use cluster::{Behavior, Report, SimCluster, SimClusterBuilder};
 pub use message::Message;
-pub use replica::{Replica, ReplicaOptions};
+pub use replica::{CommitPath, Replica, ReplicaOptions};
 pub use selection::{select, Outcome, Rationale, SelectionError, SelectionResult};

@@ -23,6 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use fastbft_crypto::{KeyDirectory, KeyPair, Signature, SignatureSet};
+use fastbft_obs::MetricsHandle;
 use fastbft_sim::{Actor, Effects, SimDuration, TimerId};
 use fastbft_types::{Config, ProcessId, Value, View};
 
@@ -45,6 +46,12 @@ pub struct ReplicaOptions {
     pub slow_path: Option<bool>,
     /// View-1 timeout; doubles on every view change (view synchronizer).
     pub base_timeout: SimDuration,
+    /// Observability handle. Disabled by default; wire one up from a
+    /// [`fastbft_obs::MetricsRegistry`] to record commit paths, view
+    /// changes and certificate-cache traffic. Carried by `ReplicaOptions`
+    /// so it threads unchanged through every construction path (the SMR
+    /// multiplexer clones the options into each per-slot replica).
+    pub metrics: MetricsHandle,
 }
 
 impl Default for ReplicaOptions {
@@ -53,8 +60,19 @@ impl Default for ReplicaOptions {
             cert_mode: CertMode::Bounded,
             slow_path: None,
             base_timeout: SimDuration(SimDuration::DELTA.0 * 8),
+            metrics: MetricsHandle::none(),
         }
     }
+}
+
+/// Which of the paper's two commit paths decided a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitPath {
+    /// Two message delays: `n − t` matching acks (§3, the headline path).
+    Fast,
+    /// Three message delays: a commit certificate of `⌈(n+f+1)/2⌉` shares
+    /// followed by a quorum of `Commit`s (Appendix A).
+    Slow,
 }
 
 /// Leader-side state for the view currently led.
@@ -134,6 +152,10 @@ pub struct Replica {
     /// by everyone and piggybacked on votes; progress certs ride every
     /// re-proposal).
     cert_cache: CertCache,
+    /// Observability handle (see [`ReplicaOptions::metrics`]).
+    metrics: MetricsHandle,
+    /// Which path produced the first decision, for path attribution.
+    decided_path: Option<CommitPath>,
 }
 
 /// Backstop bound on the value interner; beyond it new values pass through
@@ -190,7 +212,9 @@ impl Replica {
             timer_gen: 0,
             interned: BTreeSet::new(),
             interned_bytes: 0,
-            cert_cache: CertCache::new(),
+            cert_cache: CertCache::with_metrics(opts.metrics.clone()),
+            metrics: opts.metrics,
+            decided_path: None,
         }
     }
 
@@ -217,6 +241,11 @@ impl Replica {
     /// Whether the slow path is active.
     pub fn slow_path_enabled(&self) -> bool {
         self.slow_path
+    }
+
+    /// Which commit path produced the decision, if this replica decided.
+    pub fn decided_path(&self) -> Option<CommitPath> {
+        self.decided_path
     }
 
     // -- internals -----------------------------------------------------------
@@ -247,10 +276,24 @@ impl Replica {
         fx.set_timer(self.timeout_for(self.view), TimerId(self.timer_gen));
     }
 
-    fn try_decide(&mut self, value: &Value, fx: &mut Effects<Message>) {
+    fn try_decide(&mut self, value: &Value, path: CommitPath, fx: &mut Effects<Message>) {
         match &self.decided {
             None => {
                 self.decided = Some(value.clone());
+                self.decided_path = Some(path);
+                if let Some(m) = self.metrics.get() {
+                    match path {
+                        CommitPath::Fast => m.commit_fast_total.inc(),
+                        CommitPath::Slow => m.commit_slow_total.inc(),
+                    }
+                    m.recorder.record(
+                        match path {
+                            CommitPath::Fast => "commit-fast",
+                            CommitPath::Slow => "commit-slow",
+                        },
+                        format!("p{} decided in view {}", self.id.0, self.view.0),
+                    );
+                }
                 fx.decide(value.clone());
             }
             Some(prev) if prev != value => {
@@ -275,6 +318,15 @@ impl Replica {
 
     fn enter_view(&mut self, v: View, fx: &mut Effects<Message>) {
         debug_assert!(v > self.view);
+        if let Some(m) = self.metrics.get() {
+            m.view_change_total.inc();
+            m.recorder.record(
+                "view-change",
+                format!("p{} entered view {} (leader p{})", self.id.0, v.0, {
+                    self.cfg.leader(v).0
+                }),
+            );
+        }
         self.view = v;
         self.leader = None;
         // Reset the interner: any Byzantine garbage it absorbed is released
@@ -381,7 +433,7 @@ impl Replica {
         senders.insert(from);
         if senders.len() >= self.cfg.fast_quorum() {
             let value = a.value.clone();
-            self.try_decide(&value, fx);
+            self.try_decide(&value, CommitPath::Fast, fx);
         }
     }
 
@@ -451,7 +503,7 @@ impl Replica {
         senders.insert(from);
         if senders.len() >= self.cfg.slow_quorum() {
             let value = c.cert.value.clone();
-            self.try_decide(&value, fx);
+            self.try_decide(&value, CommitPath::Slow, fx);
         }
     }
 

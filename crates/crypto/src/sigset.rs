@@ -35,6 +35,22 @@ fn memo_bit(signer: ProcessId) -> Option<u64> {
     (1..=64).contains(&signer.0).then(|| 1u64 << (signer.0 - 1))
 }
 
+/// Outcome of one certificate verification, split by where the work went
+/// (see [`SignatureSet::verify_with_stats`]): `memo_hits` signatures were
+/// vouched for by the per-signer memo, `fresh_checks` went through the
+/// HMAC engine. On failure the counts cover the signatures examined up to
+/// the rejecting one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SigVerifyStats {
+    /// Whether the certificate verified (threshold met, all checked
+    /// signatures valid).
+    pub ok: bool,
+    /// Signature checks skipped by the memo.
+    pub memo_hits: u64,
+    /// Signature checks that ran a fresh HMAC verification.
+    pub fresh_checks: u64,
+}
+
 /// A set of signatures by distinct signers, intended to certify a single
 /// logical statement (the caller supplies the statement bytes at
 /// verification time).
@@ -154,8 +170,23 @@ impl SignatureSet {
     /// the same statement short-circuits to a bitset test instead of
     /// re-walking the map through the HMAC engine.
     pub fn verify(&self, statement: &[u8], directory: &KeyDirectory, threshold: usize) -> bool {
+        self.verify_with_stats(statement, directory, threshold).ok
+    }
+
+    /// [`verify`](SignatureSet::verify), also reporting how much of the
+    /// work the per-signer memo absorbed — the observability plane's view
+    /// into this cache (every memoized skip is an HMAC the replica did
+    /// not recompute). Counting is free: the loop already knows which
+    /// branch each signer took.
+    pub fn verify_with_stats(
+        &self,
+        statement: &[u8],
+        directory: &KeyDirectory,
+        threshold: usize,
+    ) -> SigVerifyStats {
+        let mut stats = SigVerifyStats::default();
         if self.len() < threshold {
-            return false;
+            return stats;
         }
         let mut memo = self.verified.lock().expect("memo lock poisoned");
         if memo.statement != statement {
@@ -165,16 +196,19 @@ impl SignatureSet {
         for sig in self.sigs.values() {
             let bit = memo_bit(sig.signer);
             if bit.is_some_and(|b| memo.mask & b != 0) {
+                stats.memo_hits += 1;
                 continue; // already verified over these exact bytes
             }
+            stats.fresh_checks += 1;
             if !directory.verify(statement, sig) {
-                return false;
+                return stats;
             }
             if let Some(b) = bit {
                 memo.mask |= b;
             }
         }
-        true
+        stats.ok = true;
+        stats
     }
 
     /// Size of the certificate on the wire, in bytes.

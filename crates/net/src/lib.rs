@@ -167,6 +167,71 @@ pub fn tcp_seats<M: SimMessage + Encode + Decode>(
     Ok((seats, addrs))
 }
 
+/// [`tcp_seats`] with a metrics plane: seat `i`'s transport reports its
+/// wire-level counters (frames/bytes in and out, MAC rejections,
+/// reconnects, send drops, peak writer-queue depth) into
+/// `registry.replica(i)` — the same per-replica sinks the actors should be
+/// built with, so one scrape shows a replica's protocol and transport
+/// counters side by side.
+///
+/// # Errors
+///
+/// An [`io::Error`] if binding the loopback listeners fails.
+///
+/// # Panics
+///
+/// Panics if `pairs` does not line up with `actors`, or if the registry
+/// has fewer replicas than there are actors.
+#[allow(clippy::type_complexity)]
+pub fn tcp_seats_metered<M: SimMessage + Encode + Decode>(
+    actors: Vec<Box<dyn Actor<M> + Send>>,
+    pairs: Vec<KeyPair>,
+    dir: KeyDirectory,
+    opts: TcpOptions,
+    registry: &fastbft_obs::MetricsRegistry,
+) -> io::Result<(Vec<NodeSeat<M, TcpTransport<M>>>, Vec<SocketAddr>)> {
+    let n = actors.len();
+    assert_eq!(pairs.len(), n, "one key pair per actor");
+    assert!(
+        registry.len() >= n,
+        "metrics registry must cover all {n} seats"
+    );
+    for (i, pair) in pairs.iter().enumerate() {
+        assert_eq!(
+            pair.id().index(),
+            i,
+            "pairs[{i}] must belong to process p{}",
+            i + 1
+        );
+    }
+
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+        .collect::<io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(TcpListener::local_addr)
+        .collect::<io::Result<_>>()?;
+
+    let mut seats: Vec<NodeSeat<M, TcpTransport<M>>> = Vec::with_capacity(n);
+    for (i, ((actor, pair), listener)) in actors.into_iter().zip(pairs).zip(listeners).enumerate() {
+        let (transport, control) = TcpTransport::start_metered(
+            pair,
+            dir.clone(),
+            listener,
+            addrs.clone(),
+            opts.clone(),
+            registry.replica(i),
+        )?;
+        seats.push(NodeSeat {
+            actor,
+            transport,
+            control,
+        });
+    }
+    Ok((seats, addrs))
+}
+
 /// [`tcp_seats`] that also hands back a clone of each replica's bound
 /// listener. Restart tests keep the clones: the file descriptor keeps the
 /// port bound while a seat is down (peer redials queue in the accept

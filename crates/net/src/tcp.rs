@@ -42,6 +42,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fastbft_crypto::session::{derive_nonce, mix_session, SessionMac, SessionVerifier};
 use fastbft_crypto::{KeyDirectory, KeyPair};
+use fastbft_obs::MetricsHandle;
 use fastbft_runtime::transport::{poll_queue, poll_queue_batch, Inbound, Polled, Transport};
 use fastbft_sim::SimMessage;
 use fastbft_types::wire::{encode_into, Decode, Encode, MAX_FRAME_LEN};
@@ -203,6 +204,7 @@ struct WriterSeat {
     dropped: Arc<AtomicU64>,
     frames: Arc<AtomicU64>,
     messages: Arc<AtomicU64>,
+    metrics: MetricsHandle,
 }
 
 /// [`Transport`] implementation over real TCP sockets with authenticated
@@ -226,6 +228,7 @@ pub struct TcpTransport<M> {
     listener_addr: SocketAddr,
     listener: Option<JoinHandle<()>>,
     shared: Arc<NetShared>,
+    metrics: MetricsHandle,
 }
 
 impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
@@ -248,6 +251,27 @@ impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
         addrs: Vec<SocketAddr>,
         opts: TcpOptions,
     ) -> io::Result<(Self, Sender<Inbound<M>>)> {
+        Self::start_metered(pair, dir, listener, addrs, opts, MetricsHandle::none())
+    }
+
+    /// [`start`](TcpTransport::start) with a metrics sink: the transport
+    /// reports wire-level counters (frames/bytes in and out, MAC
+    /// rejections, reconnects, send drops, peak writer-queue depth) into
+    /// `metrics` — typically one replica's slice of a
+    /// [`fastbft_obs::MetricsRegistry`]. A disabled handle
+    /// ([`MetricsHandle::none`]) makes this identical to `start`.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] if the listener's local address cannot be read.
+    pub fn start_metered(
+        pair: KeyPair,
+        dir: KeyDirectory,
+        listener: TcpListener,
+        addrs: Vec<SocketAddr>,
+        opts: TcpOptions,
+        metrics: MetricsHandle,
+    ) -> io::Result<(Self, Sender<Inbound<M>>)> {
         let listener_addr = listener.local_addr()?;
         let (inbound_tx, inbound_rx) = unbounded();
         let shared = Arc::new(NetShared {
@@ -263,6 +287,7 @@ impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
         let accept_tx = inbound_tx.clone();
         let accept_pair = pair.clone();
         let accept_dir = dir.clone();
+        let accept_metrics = metrics.clone();
         let my_id = pair.id();
         let handshake_timeout = opts.handshake_timeout;
         let max_connections = opts.max_connections;
@@ -276,6 +301,7 @@ impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
                 accept_shared,
                 handshake_timeout,
                 max_connections,
+                accept_metrics,
             );
         });
 
@@ -309,6 +335,7 @@ impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
                 dropped: counter,
                 frames: Arc::clone(&frames),
                 messages: Arc::clone(&messages),
+                metrics: metrics.clone(),
             };
             let writer = std::thread::spawn(move || peer_writer(seat, rx));
             peers.push(Some(PeerHandle {
@@ -335,6 +362,7 @@ impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
                 listener_addr,
                 listener: Some(listener_thread),
                 shared,
+                metrics,
             },
             control,
         ))
@@ -365,9 +393,15 @@ impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
             || handle.depth.load(Ordering::Relaxed) >= self.opts.outbound_queue_frames
         {
             handle.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = self.metrics.get() {
+                m.send_drop_total.inc();
+            }
             return;
         }
-        handle.depth.fetch_add(1, Ordering::Relaxed);
+        let depth = handle.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(m) = self.metrics.get() {
+            m.writer_queue_depth_peak.set_max(depth as u64);
+        }
         if handle.tx.send(payload).is_err() {
             handle.depth.fetch_sub(1, Ordering::Relaxed);
         }
@@ -471,6 +505,7 @@ impl<M> Drop for TcpTransport<M> {
 fn peer_writer(seat: WriterSeat, rx: Receiver<Bytes>) {
     let mut link: Option<Outbound> = None;
     let mut dead_until: Option<Instant> = None;
+    let mut ever_linked = false;
     let mut batch: Vec<Bytes> = Vec::new();
     let mut payload: Vec<u8> = Vec::new();
     let mut wire: Vec<u8> = Vec::new();
@@ -494,6 +529,9 @@ fn peer_writer(seat: WriterSeat, rx: Receiver<Bytes>) {
                 // Cooling down after a failed (re)connect: drop the batch.
                 seat.dropped
                     .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                if let Some(m) = seat.metrics.get() {
+                    m.send_drop_total.add(batch.len() as u64);
+                }
                 continue;
             }
             dead_until = None;
@@ -501,6 +539,16 @@ fn peer_writer(seat: WriterSeat, rx: Receiver<Bytes>) {
         let had_link = link.is_some();
         if link.is_none() {
             link = dial(&seat).ok();
+            if link.is_some() {
+                // Redials only: the first link of the run is a connect,
+                // not a reconnect.
+                if ever_linked {
+                    if let Some(m) = seat.metrics.get() {
+                        m.reconnect_total.inc();
+                    }
+                }
+                ever_linked = true;
+            }
         }
         let wrote = match link.as_mut() {
             Some(out) => write_batch(&seat, out, &batch, &mut payload, &mut wire).is_ok(),
@@ -515,6 +563,9 @@ fn peer_writer(seat: WriterSeat, rx: Receiver<Bytes>) {
         // dial budget.
         if had_link {
             if let Ok(mut out) = dial(&seat) {
+                if let Some(m) = seat.metrics.get() {
+                    m.reconnect_total.inc();
+                }
                 if write_batch(&seat, &mut out, &batch, &mut payload, &mut wire).is_ok() {
                     link = Some(out);
                     continue;
@@ -525,6 +576,9 @@ fn peer_writer(seat: WriterSeat, rx: Receiver<Bytes>) {
         // Peer unreachable: drop the batch and back off.
         seat.dropped
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if let Some(m) = seat.metrics.get() {
+            m.send_drop_total.add(batch.len() as u64);
+        }
         dead_until = Some(Instant::now() + seat.opts.redial_cooldown);
     }
     drop_link(&seat, link.take());
@@ -577,6 +631,10 @@ fn write_batch(
     seat.frames.fetch_add(frames, Ordering::Relaxed);
     seat.messages
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    if let Some(m) = seat.metrics.get() {
+        m.frames_out_total.add(frames);
+        m.bytes_out_total.add(wire.len() as u64);
+    }
     Ok(())
 }
 
@@ -659,6 +717,7 @@ fn accept_loop<M: SimMessage + Decode>(
     shared: Arc<NetShared>,
     handshake_timeout: Duration,
     max_connections: usize,
+    metrics: MetricsHandle,
 ) {
     let mut next_conn_id: u64 = 0;
     loop {
@@ -711,6 +770,7 @@ fn accept_loop<M: SimMessage + Decode>(
         let dir = dir.clone();
         let inbound_tx = inbound_tx.clone();
         let handler_shared = Arc::clone(&shared);
+        let handler_metrics = metrics.clone();
         let handle = std::thread::spawn(move || {
             serve_connection(
                 stream,
@@ -721,6 +781,7 @@ fn accept_loop<M: SimMessage + Decode>(
                 inbound_tx,
                 Arc::clone(&handler_shared),
                 handshake_timeout,
+                handler_metrics,
             );
             // The connection is over: release its fd clone immediately.
             handler_shared.unregister_stream(conn_id);
@@ -742,6 +803,7 @@ fn serve_connection<M: SimMessage + Decode>(
     inbound_tx: Sender<Inbound<M>>,
     shared: Arc<NetShared>,
     handshake_timeout: Duration,
+    metrics: MetricsHandle,
 ) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(handshake_timeout)).is_err() {
@@ -795,7 +857,14 @@ fn serve_connection<M: SimMessage + Decode>(
                 .verify(frame.seq, frame.payload, &frame.mac)
                 .is_err()
         {
+            if let Some(m) = metrics.get() {
+                m.mac_reject_total.inc();
+            }
             return;
+        }
+        if let Some(m) = metrics.get() {
+            m.frames_in_total.inc();
+            m.bytes_in_total.add(len as u64);
         }
         // One verified frame carries a whole writer drain: decode the
         // batch and hand it to the event loop as one queue operation.

@@ -1,0 +1,519 @@
+//! Per-replica metric blocks, the optional handle layers record through,
+//! and the cluster-wide registry with both exporters.
+//!
+//! Ownership model: a [`MetricsRegistry`] owns one [`Metrics`] block per
+//! replica seat. Each block is handed to its replica as a
+//! [`MetricsHandle`] (an `Option<Arc<Metrics>>`), threaded through
+//! `ReplicaOptions` so it reaches every per-slot `Replica`, the SMR
+//! multiplexer, and — via the metered transport constructors — the TCP
+//! writer/reader threads. A handle defaults to **disabled**: every record
+//! site is `if let Some(m) = handle.get() { … }`, one branch when off.
+//!
+//! Exposition: [`render_text`](MetricsRegistry::render_text) emits
+//! Prometheus-style text (counters and gauges as single series,
+//! histograms as summaries with `quantile` labels plus `_sum`/`_count`),
+//! every series labeled `replica="pN"`; [`render_json`]
+//! (MetricsRegistry::render_json) emits one JSON object with the same
+//! data plus each replica's flight-recorder tail.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::histogram::Histogram;
+use crate::instruments::{Counter, Gauge};
+use crate::recorder::FlightRecorder;
+
+/// Every instrument one replica records into, across all layers. Field
+/// names are the exposition names minus the `fastbft_` prefix.
+#[derive(Debug, Default)]
+#[allow(missing_docs)] // each field is documented by its HELP line below
+pub struct Metrics {
+    // core: commit-path and view-change visibility (the paper's shape).
+    pub commit_fast_total: Counter,
+    pub commit_slow_total: Counter,
+    pub view_change_total: Counter,
+    // crypto: the PR-5 memo layers.
+    pub cert_cache_hit_total: Counter,
+    pub cert_cache_miss_total: Counter,
+    pub sig_memo_hit_total: Counter,
+    pub sig_memo_miss_total: Counter,
+    // smr: the slot multiplexer.
+    pub dedup_dropped_total: Counter,
+    pub snapshot_taken_total: Counter,
+    pub snapshot_installed_total: Counter,
+    pub backfill_slots_total: Counter,
+    pub stash_depth: Gauge,
+    pub batch_size: Histogram,
+    pub commit_latency_fast_us: Histogram,
+    pub commit_latency_slow_us: Histogram,
+    pub apply_latency_us: Histogram,
+    // net: the TCP transport.
+    pub frames_out_total: Counter,
+    pub bytes_out_total: Counter,
+    pub frames_in_total: Counter,
+    pub bytes_in_total: Counter,
+    pub mac_reject_total: Counter,
+    pub reconnect_total: Counter,
+    pub send_drop_total: Counter,
+    pub writer_queue_depth_peak: Gauge,
+    /// This replica's flight recorder (rare control-plane events).
+    pub recorder: FlightRecorder,
+}
+
+impl Metrics {
+    /// A fresh block with everything at zero.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// `(name, help, counter)` for every counter, in exposition order.
+    fn counters(&self) -> [(&'static str, &'static str, &Counter); 15] {
+        [
+            (
+                "commit_fast_total",
+                "Slots committed on the 2-delay fast path (n - t acks).",
+                &self.commit_fast_total,
+            ),
+            (
+                "commit_slow_total",
+                "Slots committed via the 3-delay slow path (commit certificate).",
+                &self.commit_slow_total,
+            ),
+            (
+                "view_change_total",
+                "View changes entered (leader replacements).",
+                &self.view_change_total,
+            ),
+            (
+                "cert_cache_hit_total",
+                "Certificate verifications answered by the bounded cert cache.",
+                &self.cert_cache_hit_total,
+            ),
+            (
+                "cert_cache_miss_total",
+                "Certificate verifications that ran cryptographic checks.",
+                &self.cert_cache_miss_total,
+            ),
+            (
+                "sig_memo_hit_total",
+                "Signature-share verifications skipped by the per-signer memo.",
+                &self.sig_memo_hit_total,
+            ),
+            (
+                "sig_memo_miss_total",
+                "Signature-share verifications that ran fresh HMAC checks.",
+                &self.sig_memo_miss_total,
+            ),
+            (
+                "dedup_dropped_total",
+                "Committed commands skipped by identity dedup (at-most-once).",
+                &self.dedup_dropped_total,
+            ),
+            (
+                "snapshot_taken_total",
+                "Canonical snapshots taken at checkpoint boundaries.",
+                &self.snapshot_taken_total,
+            ),
+            (
+                "snapshot_installed_total",
+                "Attested snapshots installed during far-behind recovery.",
+                &self.snapshot_installed_total,
+            ),
+            (
+                "backfill_slots_total",
+                "Slots absorbed from quorum-matched backfill frames.",
+                &self.backfill_slots_total,
+            ),
+            (
+                "frames_out_total",
+                "TCP frames written (one coalesced frame per writer drain).",
+                &self.frames_out_total,
+            ),
+            (
+                "frames_in_total",
+                "TCP frames read and MAC-verified.",
+                &self.frames_in_total,
+            ),
+            (
+                "mac_reject_total",
+                "Inbound frames dropped for a bad session MAC or sender.",
+                &self.mac_reject_total,
+            ),
+            (
+                "reconnect_total",
+                "Peer links re-established after a drop (first dials excluded).",
+                &self.reconnect_total,
+            ),
+        ]
+    }
+
+    /// `(name, help, counter)` for byte counters (split out so the text
+    /// renderer can group all counters; bytes are still counters).
+    fn byte_counters(&self) -> [(&'static str, &'static str, &Counter); 3] {
+        [
+            (
+                "bytes_out_total",
+                "Wire bytes written, including frame headers and MACs.",
+                &self.bytes_out_total,
+            ),
+            (
+                "bytes_in_total",
+                "Wire payload bytes read from verified frames.",
+                &self.bytes_in_total,
+            ),
+            (
+                "send_drop_total",
+                "Outbound messages dropped (oversized or writer queue full).",
+                &self.send_drop_total,
+            ),
+        ]
+    }
+
+    /// `(name, help, gauge)` for every gauge.
+    fn gauges(&self) -> [(&'static str, &'static str, &Gauge); 2] {
+        [
+            (
+                "stash_depth",
+                "Future-slot messages currently stashed (bounded).",
+                &self.stash_depth,
+            ),
+            (
+                "writer_queue_depth_peak",
+                "High-water mark of any per-peer writer queue, in messages.",
+                &self.writer_queue_depth_peak,
+            ),
+        ]
+    }
+
+    /// `(name, help, histogram)` for every histogram.
+    fn histograms(&self) -> [(&'static str, &'static str, &Histogram); 4] {
+        [
+            (
+                "batch_size",
+                "Client commands per proposed slot batch.",
+                &self.batch_size,
+            ),
+            (
+                "commit_latency_fast_us",
+                "Slot open to fast-path decision, wall-clock microseconds.",
+                &self.commit_latency_fast_us,
+            ),
+            (
+                "commit_latency_slow_us",
+                "Slot open to slow-path decision, wall-clock microseconds.",
+                &self.commit_latency_slow_us,
+            ),
+            (
+                "apply_latency_us",
+                "Slot open to state-machine apply, wall-clock microseconds.",
+                &self.apply_latency_us,
+            ),
+        ]
+    }
+}
+
+/// A cheap, cloneable, optional reference to one replica's [`Metrics`].
+///
+/// Defaults to disabled (`MetricsHandle::default()` records nothing), so
+/// every construction path that predates observability keeps working
+/// unchanged; [`MetricsRegistry::replica`] produces enabled handles.
+#[derive(Clone, Default)]
+pub struct MetricsHandle(Option<Arc<Metrics>>);
+
+impl fmt::Debug for MetricsHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("MetricsHandle(enabled)"),
+            None => f.write_str("MetricsHandle(disabled)"),
+        }
+    }
+}
+
+impl From<Arc<Metrics>> for MetricsHandle {
+    fn from(metrics: Arc<Metrics>) -> Self {
+        MetricsHandle(Some(metrics))
+    }
+}
+
+impl MetricsHandle {
+    /// A disabled handle: every record site short-circuits on one branch.
+    pub fn none() -> Self {
+        MetricsHandle(None)
+    }
+
+    /// An enabled handle over a fresh standalone block (tests, single
+    /// replicas); cluster code should use [`MetricsRegistry::replica`].
+    pub fn standalone() -> Self {
+        MetricsHandle(Some(Arc::new(Metrics::new())))
+    }
+
+    /// The block to record into, if enabled.
+    #[inline]
+    pub fn get(&self) -> Option<&Metrics> {
+        self.0.as_deref()
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// The cluster-wide metrics plane: one [`Metrics`] block per replica
+/// seat, plus the two exporters. Clones share the same blocks, so a
+/// bench or test can keep a clone and scrape while the cluster runs.
+#[derive(Clone, Debug)]
+pub struct MetricsRegistry {
+    replicas: Vec<Arc<Metrics>>,
+}
+
+impl MetricsRegistry {
+    /// A registry for an `n`-replica cluster.
+    pub fn new(n: usize) -> Self {
+        MetricsRegistry {
+            replicas: (0..n).map(|_| Arc::new(Metrics::new())).collect(),
+        }
+    }
+
+    /// Number of replica seats.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the registry covers zero seats.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// An enabled handle for replica seat `index` (0-based: seat 0 is
+    /// process p1, matching the workspace's actor-vector convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn replica(&self, index: usize) -> MetricsHandle {
+        MetricsHandle(Some(Arc::clone(&self.replicas[index])))
+    }
+
+    /// Direct access to seat `index`'s block (assertions, scrapes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn metrics(&self, index: usize) -> &Metrics {
+        &self.replicas[index]
+    }
+
+    /// Sum of one counter across every replica, selected by closure:
+    /// `registry.total(|m| &m.commit_fast_total)`.
+    pub fn total(&self, pick: impl Fn(&Metrics) -> &Counter) -> u64 {
+        self.replicas.iter().map(|m| pick(m).get()).sum()
+    }
+
+    /// Prometheus-style text exposition: `# HELP` / `# TYPE` headers per
+    /// family, one `replica="pN"`-labeled series per seat, histograms as
+    /// summaries (`quantile` labels + `_sum` + `_count`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        if self.replicas.is_empty() {
+            return out;
+        }
+        let probe = &self.replicas[0];
+        let counter_families = probe.counters().map(|(name, help, _)| (name, help));
+        let byte_families = probe.byte_counters().map(|(name, help, _)| (name, help));
+        for (name, help) in counter_families.into_iter().chain(byte_families) {
+            let _ = writeln!(out, "# HELP fastbft_{name} {help}");
+            let _ = writeln!(out, "# TYPE fastbft_{name} counter");
+            for (i, m) in self.replicas.iter().enumerate() {
+                let value = m
+                    .counters()
+                    .iter()
+                    .chain(m.byte_counters().iter())
+                    .find(|(n, _, _)| *n == name)
+                    .map(|(_, _, c)| c.get())
+                    .unwrap_or(0);
+                let _ = writeln!(out, "fastbft_{name}{{replica=\"p{}\"}} {value}", i + 1);
+            }
+        }
+        for (name, help) in probe.gauges().map(|(name, help, _)| (name, help)) {
+            let _ = writeln!(out, "# HELP fastbft_{name} {help}");
+            let _ = writeln!(out, "# TYPE fastbft_{name} gauge");
+            for (i, m) in self.replicas.iter().enumerate() {
+                let value = m
+                    .gauges()
+                    .iter()
+                    .find(|(n, _, _)| *n == name)
+                    .map(|(_, _, g)| g.get())
+                    .unwrap_or(0);
+                let _ = writeln!(out, "fastbft_{name}{{replica=\"p{}\"}} {value}", i + 1);
+            }
+        }
+        for (name, help) in probe.histograms().map(|(name, help, _)| (name, help)) {
+            let _ = writeln!(out, "# HELP fastbft_{name} {help}");
+            let _ = writeln!(out, "# TYPE fastbft_{name} summary");
+            for (i, m) in self.replicas.iter().enumerate() {
+                let h = m
+                    .histograms()
+                    .iter()
+                    .find(|(n, _, _)| *n == name)
+                    .map(|(_, _, h)| *h)
+                    .expect("histogram families are identical across replicas");
+                let p = i + 1;
+                for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                    let _ = writeln!(
+                        out,
+                        "fastbft_{name}{{replica=\"p{p}\",quantile=\"{label}\"}} {}",
+                        h.quantile(q)
+                    );
+                }
+                let _ = writeln!(out, "fastbft_{name}_sum{{replica=\"p{p}\"}} {}", h.sum());
+                let _ = writeln!(
+                    out,
+                    "fastbft_{name}_count{{replica=\"p{p}\"}} {}",
+                    h.count()
+                );
+            }
+        }
+        out
+    }
+
+    /// JSON dump: the same data as the text exposition plus each
+    /// replica's flight-recorder tail, as one self-contained object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+        out.push_str("{\"replicas\":[");
+        for (i, m) in self.replicas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"replica\":\"p{}\",\"counters\":{{", i + 1);
+            let mut first = true;
+            for (name, _, c) in m.counters().iter().chain(m.byte_counters().iter()) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\"{name}\":{}", c.get());
+            }
+            out.push_str("},\"gauges\":{");
+            for (j, (name, _, g)) in m.gauges().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{name}\":{}", g.get());
+            }
+            out.push_str("},\"histograms\":{");
+            for (j, (name, _, h)) in m.histograms().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},\
+                     \"p50\":{},\"p99\":{},\"p999\":{}}}",
+                    h.count(),
+                    h.sum(),
+                    h.max(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.quantile(0.999)
+                );
+            }
+            out.push_str("},\"events\":[");
+            for (j, e) in m.recorder.snapshot().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"seq\":{},\"at_us\":{},\"kind\":\"{}\",\"detail\":\"{}\"}}",
+                    e.seq,
+                    e.at_us,
+                    escape_json(e.kind),
+                    escape_json(&e.detail)
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_defaults_disabled() {
+        let h = MetricsHandle::default();
+        assert!(!h.is_enabled());
+        assert!(h.get().is_none());
+        assert!(MetricsRegistry::new(2).replica(1).is_enabled());
+    }
+
+    #[test]
+    fn text_exposition_shape() {
+        let reg = MetricsRegistry::new(2);
+        reg.metrics(0).commit_fast_total.inc();
+        reg.metrics(1).commit_latency_fast_us.record(250);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE fastbft_commit_fast_total counter"));
+        assert!(text.contains("fastbft_commit_fast_total{replica=\"p1\"} 1"));
+        assert!(text.contains("fastbft_commit_fast_total{replica=\"p2\"} 0"));
+        assert!(text.contains("fastbft_commit_latency_fast_us{replica=\"p2\",quantile=\"0.99\"}"));
+        assert!(text.contains("fastbft_commit_latency_fast_us_count{replica=\"p2\"} 1"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(series.starts_with("fastbft_"), "bad series name: {line}");
+            assert!(series.contains("{replica=\"p"), "unlabeled series: {line}");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+        }
+    }
+
+    #[test]
+    fn json_dump_is_self_contained() {
+        let reg = MetricsRegistry::new(1);
+        reg.metrics(0).view_change_total.add(3);
+        reg.metrics(0)
+            .recorder
+            .record("view-change", "entered view 2 \"quoted\"".into());
+        let json = reg.render_json();
+        assert!(json.contains("\"view_change_total\":3"));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.starts_with("{\"replicas\":["));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn total_sums_across_replicas() {
+        let reg = MetricsRegistry::new(3);
+        reg.metrics(0).commit_fast_total.add(2);
+        reg.metrics(2).commit_fast_total.add(5);
+        assert_eq!(reg.total(|m| &m.commit_fast_total), 7);
+    }
+}

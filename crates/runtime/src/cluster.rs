@@ -17,6 +17,7 @@ use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use fastbft_obs::MetricsRegistry;
 use fastbft_sim::{Actor, Effects, Outgoing, SimMessage, SimTime, TimerId};
 use fastbft_types::{ProcessId, Value};
 
@@ -65,6 +66,11 @@ pub struct ClusterHandle<M> {
     applied_tx: Sender<Applied>,
     start: Instant,
     tick: Duration,
+    /// The cluster's metrics plane, if one was attached: the same
+    /// per-replica [`fastbft_obs::Metrics`] sinks the actors (and metered
+    /// transports) were built with, held here so the handle can scrape
+    /// them while the cluster runs.
+    metrics: Option<MetricsRegistry>,
 }
 
 /// One replica's seat in a cluster: its protocol state machine, the
@@ -149,6 +155,7 @@ pub fn spawn_with<M: SimMessage, T: Transport<M>>(
         applied_tx,
         start,
         tick,
+        metrics: None,
     }
 }
 
@@ -340,6 +347,40 @@ impl<M: SimMessage> ClusterHandle<M> {
     /// arbitrarily.
     pub fn applied_events(&self) -> &Receiver<Applied> {
         &self.applied
+    }
+
+    /// Attaches the metrics plane the cluster's actors were built with, so
+    /// this handle can scrape it (`registry.replica(i)` handles must have
+    /// gone into the actors before spawning — attaching here only wires the
+    /// read side). Returns `self` for builder-style chaining.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Attaches the metrics plane to an already-built handle (non-consuming
+    /// variant of [`with_metrics`](ClusterHandle::with_metrics)).
+    pub fn attach_metrics(&mut self, registry: MetricsRegistry) {
+        self.metrics = Some(registry);
+    }
+
+    /// The attached metrics plane, if any.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Scrapes the cluster's metrics in Prometheus text exposition format.
+    /// `None` if no registry was attached.
+    pub fn metrics_text(&self) -> Option<String> {
+        self.metrics.as_ref().map(MetricsRegistry::render_text)
+    }
+
+    /// Scrapes the cluster's metrics (counters, gauges, histogram
+    /// percentiles, and flight-recorder events) as a JSON document. `None`
+    /// if no registry was attached.
+    pub fn metrics_json(&self) -> Option<String> {
+        self.metrics.as_ref().map(MetricsRegistry::render_json)
     }
 
     /// Stops all threads, joins them, and hands back the actors in seat

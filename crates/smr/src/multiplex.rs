@@ -37,9 +37,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::mem;
+use std::time::Instant;
 
 use fastbft_core::message::Message;
-use fastbft_core::replica::{Replica, ReplicaOptions};
+use fastbft_core::replica::{CommitPath, Replica, ReplicaOptions};
 use fastbft_crypto::{Digest, KeyDirectory, KeyPair, Signature};
 use fastbft_sim::{Actor, Effects, Outgoing, SimMessage, TimerId};
 use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
@@ -485,6 +486,10 @@ pub struct SmrNode<S: StateMachine> {
     /// Backfill votes: slot → sender → claimed committed value. A value is
     /// applied once f+1 distinct senders agree on it.
     backfill: BTreeMap<u64, HashMap<ProcessId, Value>>,
+    /// When each open slot's instance was created. Populated only while a
+    /// metrics sink is attached (the commit/apply latency histograms are
+    /// the sole consumers), so the default sim path stays wall-clock-free.
+    slot_opened: HashMap<u64, Instant>,
 }
 
 impl<S: StateMachine> SmrNode<S> {
@@ -528,6 +533,7 @@ impl<S: StateMachine> SmrNode<S> {
             recovery_armed: false,
             served: HashMap::new(),
             backfill: BTreeMap::new(),
+            slot_opened: HashMap::new(),
         }
     }
 
@@ -666,6 +672,9 @@ impl<S: StateMachine> SmrNode<S> {
             cmds.extend(self.pending.drain(..take));
             self.propose_cursor = slot + 1;
             self.in_flight.insert(slot, cmds.clone());
+            if let Some(m) = self.opts.metrics.get() {
+                m.batch_size.record(take as u64);
+            }
         }
         if cmds.is_empty() {
             cmds.push(self.idle_input.clone());
@@ -718,10 +727,14 @@ impl<S: StateMachine> SmrNode<S> {
         let mut inner = Effects::new(fx.id(), fx.n(), fx.now());
         replica.on_start(&mut inner);
         self.slots.insert(slot, replica);
+        if self.opts.metrics.is_enabled() {
+            self.slot_opened.insert(slot, Instant::now());
+        }
         self.relay_inner(slot, inner, fx);
         // Replay anything that arrived before the slot opened.
         if let Some(stash) = self.stashed.remove(&slot) {
             self.stashed_total -= stash.len();
+            self.note_stash_depth();
             for (from, msg) in stash {
                 self.deliver(slot, from, msg, fx);
             }
@@ -812,6 +825,9 @@ impl<S: StateMachine> SmrNode<S> {
     fn apply_command(&mut self, cmd: Value, fx: &mut Effects<SlotMessage>) {
         if cmd != self.idle_input {
             if self.command_applied(&cmd) {
+                if let Some(m) = self.opts.metrics.get() {
+                    m.dedup_dropped_total.inc();
+                }
                 return; // already executed in an earlier slot
             }
             self.mark_applied(&cmd);
@@ -828,6 +844,20 @@ impl<S: StateMachine> SmrNode<S> {
     fn on_slot_decided(&mut self, slot: u64, value: Value, fx: &mut Effects<SlotMessage>) {
         if slot < self.applied || self.decided.contains_key(&slot) {
             return;
+        }
+        // Commit latency, split by the path the slot's own replica took.
+        // Backfill-settled slots have no local replica (and took neither
+        // path here), so they record nothing.
+        if let Some(m) = self.opts.metrics.get() {
+            let path = self.slots.get(&slot).and_then(|r| r.decided_path());
+            let opened = self.slot_opened.get(&slot);
+            if let (Some(path), Some(at)) = (path, opened) {
+                let us = u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                match path {
+                    CommitPath::Fast => m.commit_latency_fast_us.record(us),
+                    CommitPath::Slow => m.commit_latency_slow_us.record(us),
+                }
+            }
         }
         self.decided.insert(slot, value);
         self.advance(fx);
@@ -855,6 +885,12 @@ impl<S: StateMachine> SmrNode<S> {
                 }
             }
             self.slots.remove(&slot);
+            if let Some(at) = self.slot_opened.remove(&slot) {
+                if let Some(m) = self.opts.metrics.get() {
+                    let us = u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    m.apply_latency_us.record(us);
+                }
+            }
             self.applied += 1;
             if self.applied.is_multiple_of(self.snapshot_interval) {
                 self.take_snapshot(fx);
@@ -877,6 +913,7 @@ impl<S: StateMachine> SmrNode<S> {
             let bucket = self.stashed.remove(&stale).expect("key just read");
             self.stashed_total -= bucket.len();
         }
+        self.note_stash_depth();
         // Same for backfill votes on settled slots.
         self.backfill = self.backfill.split_off(&self.applied);
         // The window may have moved: drain newly eligible stashes.
@@ -956,6 +993,13 @@ impl<S: StateMachine> SmrNode<S> {
             payload,
             sigs,
         });
+        if let Some(m) = self.opts.metrics.get() {
+            m.snapshot_taken_total.inc();
+            m.recorder.record(
+                "snapshot",
+                format!("p{} checkpointed upto={upto}", self.keys.id().0),
+            );
+        }
         fx.broadcast(SlotMessage::Checkpoint { upto, digest, sig });
     }
 
@@ -1093,6 +1137,7 @@ impl<S: StateMachine> SmrNode<S> {
             }
         }
         self.slots = self.slots.split_off(&upto);
+        self.slot_opened.retain(|s, _| *s >= upto);
         self.decided = self.decided.split_off(&upto);
         self.committed_tail = self.committed_tail.split_off(&upto);
         self.backfill = self.backfill.split_off(&upto);
@@ -1104,6 +1149,7 @@ impl<S: StateMachine> SmrNode<S> {
             let bucket = self.stashed.remove(&stale).expect("key just read");
             self.stashed_total -= bucket.len();
         }
+        self.note_stash_depth();
         // Adopt the snapshot: keep the valid received attestations, add our
         // own (we now vouch for this state, and can serve it onward).
         let mut sigmap = BTreeMap::new();
@@ -1123,6 +1169,13 @@ impl<S: StateMachine> SmrNode<S> {
             payload,
             sigs: sigmap,
         });
+        if let Some(m) = self.opts.metrics.get() {
+            m.snapshot_installed_total.inc();
+            m.recorder.record(
+                "snapshot-install",
+                format!("p{} installed snapshot upto={upto}", self.keys.id().0),
+            );
+        }
         // Anything decided/backfilled at or past the boundary may now be
         // contiguous.
         self.advance(fx);
@@ -1150,6 +1203,9 @@ impl<S: StateMachine> SmrNode<S> {
         let matching = votes.values().filter(|v| **v == value).count();
         if matching > self.cfg.f() {
             self.backfill.remove(&slot);
+            if let Some(m) = self.opts.metrics.get() {
+                m.backfill_slots_total.inc();
+            }
             self.on_slot_decided(slot, value, fx);
         }
     }
@@ -1287,6 +1343,7 @@ impl<S: StateMachine> SmrNode<S> {
                 break;
             };
             if farthest <= slot {
+                self.note_stash_depth();
                 return;
             }
             let bucket = self.stashed.get_mut(&farthest).expect("key just read");
@@ -1298,5 +1355,14 @@ impl<S: StateMachine> SmrNode<S> {
         }
         self.stashed.entry(slot).or_default().push((from, msg));
         self.stashed_total += 1;
+        self.note_stash_depth();
+    }
+
+    /// Mirrors the stash size into the metrics gauge (no-op when metrics
+    /// are disabled). Called after every `stashed_total` mutation.
+    fn note_stash_depth(&self) {
+        if let Some(m) = self.opts.metrics.get() {
+            m.stash_depth.set(self.stashed_total as u64);
+        }
     }
 }

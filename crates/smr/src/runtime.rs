@@ -111,6 +111,58 @@ pub fn smr_actors_snapshotting<S: StateMachine + Clone + Send + 'static>(
         .collect()
 }
 
+/// [`smr_actors_snapshotting`] with a metrics plane: node `i` (and every
+/// per-slot replica it opens) records into `registry.replica(i)`, the same
+/// sink a metered transport for seat `i` should use
+/// (`fastbft_net::tcp_seats_metered`). Attach the registry to the spawned
+/// cluster's handle ([`SmrClusterHandle::attach_metrics`]) to scrape it.
+#[allow(clippy::too_many_arguments)]
+pub fn smr_actors_metered<S: StateMachine + Clone + Send + 'static>(
+    cfg: Config,
+    pairs: &[KeyPair],
+    dir: &KeyDirectory,
+    machine: S,
+    commands: Vec<Vec<Value>>,
+    idle_input: Value,
+    opts: ReplicaOptions,
+    batch_size: usize,
+    snapshot_interval: Option<u64>,
+    registry: &fastbft_obs::MetricsRegistry,
+) -> Vec<Box<dyn Actor<SlotMessage> + Send>> {
+    assert!(
+        registry.len() >= cfg.n(),
+        "metrics registry must cover all {} processes",
+        cfg.n()
+    );
+    assert_eq!(pairs.len(), cfg.n(), "one key pair per process");
+    assert_eq!(commands.len(), cfg.n(), "one command queue per process");
+    pairs
+        .iter()
+        .zip(commands)
+        .enumerate()
+        .map(|(i, (pair, cmds))| -> Box<dyn Actor<SlotMessage> + Send> {
+            let opts = ReplicaOptions {
+                metrics: registry.replica(i),
+                ..opts.clone()
+            };
+            let mut node = SmrNode::new(
+                cfg,
+                pair.clone(),
+                dir.clone(),
+                machine.clone(),
+                cmds,
+                idle_input.clone(),
+            )
+            .with_options(opts)
+            .with_batch_size(batch_size);
+            if let Some(interval) = snapshot_interval {
+                node = node.with_snapshot_interval(interval);
+            }
+            Box::new(node)
+        })
+        .collect()
+}
+
 /// Downcasts a shut-down cluster actor back to its [`SmrNode`] for final
 /// state inspection (log, state machine). `None` if the seat held
 /// something else — e.g. a scripted Byzantine actor.
@@ -190,6 +242,31 @@ impl SmrClusterHandle {
     /// stream, per-node submission).
     pub fn inner(&self) -> &ClusterHandle<SlotMessage> {
         &self.inner
+    }
+
+    /// Attaches the metrics plane the nodes were built with (see
+    /// [`fastbft_obs::MetricsRegistry`]): `registry.replica(i)` handles
+    /// must have gone into each node's `ReplicaOptions.metrics` before
+    /// spawning; attaching here wires the scrape side.
+    pub fn attach_metrics(&mut self, registry: fastbft_obs::MetricsRegistry) {
+        self.inner.attach_metrics(registry);
+    }
+
+    /// The attached metrics plane, if any.
+    pub fn metrics(&self) -> Option<&fastbft_obs::MetricsRegistry> {
+        self.inner.metrics()
+    }
+
+    /// Scrapes cluster metrics in Prometheus text exposition format
+    /// (`None` if no registry was attached).
+    pub fn metrics_text(&self) -> Option<String> {
+        self.inner.metrics_text()
+    }
+
+    /// Scrapes cluster metrics as a JSON document (`None` if no registry
+    /// was attached).
+    pub fn metrics_json(&self) -> Option<String> {
+        self.inner.metrics_json()
     }
 
     /// Waits until each process in `processes` has applied at least `k`

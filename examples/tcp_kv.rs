@@ -9,35 +9,68 @@
 //! ```bash
 //! cargo run --release --example tcp_kv
 //! ```
+//!
+//! With `--metrics`, every replica (and its TCP transport seat) records
+//! into a [`fastbft::obs::MetricsRegistry`], and after the workload the
+//! example dumps the Prometheus text exposition — commit-path counters,
+//! latency histograms, frame/byte totals — exactly what a scrape endpoint
+//! would serve:
+//!
+//! ```bash
+//! cargo run --release --example tcp_kv -- --metrics
+//! ```
 
 use std::time::{Duration, Instant};
 
 use fastbft::core::replica::ReplicaOptions;
 use fastbft::crypto::KeyDirectory;
-use fastbft::net::tcp_seats;
+use fastbft::net::{tcp_seats, tcp_seats_metered};
+use fastbft::obs::MetricsRegistry;
 use fastbft::runtime::spawn_with;
-use fastbft::smr::runtime::{as_smr_node, smr_actors, SmrClusterHandle};
+use fastbft::smr::runtime::{as_smr_node, smr_actors, smr_actors_metered, SmrClusterHandle};
 use fastbft::smr::{KvCommand, KvStore};
 use fastbft::types::Config;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let metrics = std::env::args().any(|a| a == "--metrics");
     // The paper's headline configuration: n = 3f + 2t − 1 = 4.
     let cfg = Config::new(4, 1, 1)?;
     let (pairs, dir) = KeyDirectory::generate(cfg.n(), 2027);
     let idle = KvCommand::Noop.to_value();
-    let actors = smr_actors(
-        cfg,
-        &pairs,
-        &dir,
-        KvStore::new(),
-        vec![Vec::new(); cfg.n()],
-        idle.clone(),
-        ReplicaOptions::default(),
-        4, // batch up to four commands per slot
-    );
-    let (seats, addrs) = tcp_seats(actors, pairs, dir, Default::default())?;
+    let registry = metrics.then(|| MetricsRegistry::new(cfg.n()));
+    // Batch up to four commands per slot.
+    let (seats, addrs) = if let Some(registry) = &registry {
+        let actors = smr_actors_metered(
+            cfg,
+            &pairs,
+            &dir,
+            KvStore::new(),
+            vec![Vec::new(); cfg.n()],
+            idle.clone(),
+            ReplicaOptions::default(),
+            4,
+            None,
+            registry,
+        );
+        tcp_seats_metered(actors, pairs, dir, Default::default(), registry)?
+    } else {
+        let actors = smr_actors(
+            cfg,
+            &pairs,
+            &dir,
+            KvStore::new(),
+            vec![Vec::new(); cfg.n()],
+            idle.clone(),
+            ReplicaOptions::default(),
+            4,
+        );
+        tcp_seats(actors, pairs, dir, Default::default())?
+    };
     let mut cluster =
         SmrClusterHandle::new(spawn_with(seats, Duration::from_micros(50)), cfg.n(), idle);
+    if let Some(registry) = registry {
+        cluster.attach_metrics(registry);
+    }
     println!("replicated KV store, n = 4, f = t = 1, listening on:");
     for (i, addr) in addrs.iter().enumerate() {
         println!("  p{} @ {addr}", i + 1);
@@ -78,6 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let elapsed = start.elapsed();
     assert!(cluster.logs_agree(), "log divergence across replicas");
 
+    // The scrape a metrics endpoint would serve, taken while the cluster
+    // is still running (exporters read the live atomics).
+    let scrape = cluster.metrics_text();
+
     let actors = cluster.shutdown();
     let mut digests = Vec::new();
     for (i, actor) in actors.iter().enumerate() {
@@ -103,5 +140,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{submitted} commands replicated over authenticated loopback TCP in {elapsed:?} — \
          identical state on all 4 replicas ✓"
     );
+    if let Some(scrape) = scrape {
+        println!("\n# --- metrics scrape (Prometheus text exposition) ---");
+        print!("{scrape}");
+    }
     Ok(())
 }

@@ -9,6 +9,9 @@
 //! This crate is a facade that re-exports the workspace members:
 //!
 //! * [`types`] — ids, views, values, configuration and quorum arithmetic;
+//! * [`obs`] — the observability plane: per-replica counters, commit-path
+//!   latency histograms, a bounded flight recorder, and Prometheus/JSON
+//!   exporters (see `docs/ARCHITECTURE.md` § Observability);
 //! * [`crypto`] — SHA-256 / HMAC signatures and certificate aggregation;
 //! * [`sim`] — a deterministic discrete-event partial-synchrony simulator;
 //! * [`core`] — the paper's protocol (fast path, slow path, view change
@@ -47,6 +50,7 @@ pub use fastbft_baselines as baselines;
 pub use fastbft_core as core;
 pub use fastbft_crypto as crypto;
 pub use fastbft_net as net;
+pub use fastbft_obs as obs;
 pub use fastbft_runtime as runtime;
 pub use fastbft_sim as sim;
 pub use fastbft_smr as smr;
