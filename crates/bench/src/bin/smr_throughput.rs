@@ -21,10 +21,13 @@
 //! lazy first dials are counted (they are part of protocol throughput).
 //!
 //! `--json` switches the output to a machine-readable JSON object
-//! (`BENCH_smr_throughput.json` is a committed snapshot of it):
+//! (`BENCH_smr_throughput.json` is a committed snapshot of it), and
+//! `--shards a,b,c` overrides the default {1, 2, 4} multi-group sweep —
+//! useful for probing scaling on a big machine without editing the bin:
 //!
 //! ```bash
 //! cargo run --release -p fastbft_bench --bin smr_throughput -- --json
+//! cargo run --release -p fastbft_bench --bin smr_throughput -- --shards 1,4,8
 //! ```
 
 use std::time::{Duration, Instant};
@@ -36,10 +39,13 @@ use fastbft_net::tcp_seats;
 use fastbft_runtime::{spawn, spawn_with};
 use fastbft_sim::{SimDuration, SimTime};
 use fastbft_smr::runtime::{smr_actors, SmrClusterHandle};
-use fastbft_smr::{CountingMachine, SmrSimCluster};
+use fastbft_smr::{CountingMachine, KvCommand, ShardedKvHandle, SmrSimCluster};
 use fastbft_types::{Config, Value};
 
 const COMMANDS: u64 = 256;
+/// Shard counts for the multi-group sweep (1 = the single-group
+/// baseline the scaling ratios are computed against).
+const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
 const TICK: Duration = Duration::from_micros(50);
 const BATCHES: [usize; 3] = [1, 8, 64];
 /// Wall-clock trials per configuration; the best is reported (see the
@@ -196,12 +202,87 @@ impl TrialSet {
 /// with the individual runs retained.
 fn runtime_throughput(p: SweepPoint, seed: u64) -> TrialSet {
     let trials: Vec<Throughput> = (0..TRIALS).map(|t| one_trial(p, seed + t as u64)).collect();
+    best_of(trials)
+}
+
+fn best_of(trials: Vec<Throughput>) -> TrialSet {
     let runs = trials.iter().map(|t| t.commands_per_sec).collect();
     let best = trials
         .into_iter()
         .max_by(|a, b| a.commands_per_sec.total_cmp(&b.commands_per_sec))
         .expect("TRIALS >= 1");
     TrialSet { best, runs }
+}
+
+/// One trial of the sharded KV runtime: `shards` independent consensus
+/// groups multiplexed over one in-process mesh (per-group leader
+/// stagger, routing by key digest), `COMMANDS` live-submitted puts to
+/// full application on all replicas of every group. `verify_workers > 0`
+/// additionally attaches a verify pool to every seat. The channel mesh
+/// keeps this point CPU-bound: it measures how the *protocol* datapath
+/// scales with cores, without TCP writer threads oversubscribing small
+/// runners.
+fn one_shard_trial(shards: usize, verify_workers: usize, seed: u64) -> Throughput {
+    let cfg = Config::new(4, 1, 1).unwrap();
+    let opts = ReplicaOptions {
+        base_timeout: SimDuration(SimDuration::DELTA.0 * 200),
+        ..ReplicaOptions::default()
+    };
+    let mut cluster =
+        ShardedKvHandle::spawn_channel(cfg, seed, shards, opts, 1, TICK, verify_workers);
+    let commands: Vec<Value> = (0..COMMANDS)
+        .map(|i| {
+            KvCommand::Put {
+                key: format!("key-{i}"),
+                value: "v".into(),
+            }
+            .to_value()
+        })
+        .collect();
+    let start = Instant::now();
+    for command in commands {
+        cluster.submit(command);
+    }
+    let ok = cluster.await_submitted(Duration::from_secs(120));
+    let elapsed = start.elapsed();
+    assert!(ok, "sharded cluster did not apply all {COMMANDS} commands");
+    assert!(cluster.logs_agree(), "sharded log divergence");
+    cluster.shutdown();
+    Throughput {
+        commands_per_sec: COMMANDS as f64 / elapsed.as_secs_f64(),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+fn shard_throughput(shards: usize, verify_workers: usize, seed: u64) -> TrialSet {
+    let trials: Vec<Throughput> = (0..TRIALS)
+        .map(|t| one_shard_trial(shards, verify_workers, seed + t as u64))
+        .collect();
+    best_of(trials)
+}
+
+/// Parses `--shards a,b,c` (or `--shards=a,b,c`) into a custom shard
+/// sweep; the committed JSON snapshot and its CI gates use the default
+/// [`SHARD_SWEEP`].
+fn shard_sweep_arg() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        let list = match arg.strip_prefix("--shards=") {
+            Some(rest) => Some(rest.to_string()),
+            None if arg == "--shards" => args.get(i + 1).cloned(),
+            None => None,
+        };
+        if let Some(list) = list {
+            let parsed: Vec<usize> = list
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&s| s >= 1)
+                .collect();
+            assert!(!parsed.is_empty(), "--shards wants a list like 1,2,4");
+            return parsed;
+        }
+    }
+    SHARD_SWEEP.to_vec()
 }
 
 fn main() {
@@ -249,12 +330,24 @@ fn main() {
         }
     }
 
+    // Sharded multi-group sweep (n = 4 per group, channel mesh, KV puts,
+    // batch 1): how throughput scales with independent groups when cores
+    // are available. Verify pools use the replica default (cores − 1; 0 =
+    // inline on a single-core runner).
+    let verify_workers = ReplicaOptions::default_verify_workers();
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut shard_results: Vec<(usize, TrialSet)> = Vec::new();
+    for (i, shards) in shard_sweep_arg().into_iter().enumerate() {
+        let seed = 1700 + (i * 10) as u64;
+        shard_results.push((shards, shard_throughput(shards, verify_workers, seed)));
+    }
+
     if json {
         println!("{{");
         println!("  \"bench\": \"smr_throughput\",");
-        println!("  \"version\": 4,");
+        println!("  \"version\": 5,");
         println!(
-            "  \"config\": {{\"commands\": {COMMANDS}, \"tick_us\": {}, \"trials\": {TRIALS}}},",
+            "  \"config\": {{\"commands\": {COMMANDS}, \"tick_us\": {}, \"trials\": {TRIALS}, \"host_cores\": {host_cores}, \"verify_workers\": {verify_workers}}},",
             TICK.as_micros()
         );
         println!(
@@ -279,6 +372,18 @@ fn main() {
             }
             let comma = if i + 1 < results.len() { "," } else { "" };
             println!("    }}{comma}");
+        }
+        println!("  }},");
+        println!("  \"shards\": {{");
+        for (i, (shards, ts)) in shard_results.iter().enumerate() {
+            let comma = if i + 1 < shard_results.len() { "," } else { "" };
+            println!(
+                "    \"shards_{shards}\": {{\"unit\": \"commands_per_sec\", \"commands_per_sec\": {:.0}, \"elapsed_ms\": {:.2}, \"runs_commands_per_sec\": {}, \"spread_pct\": {:.1}}}{comma}",
+                ts.best.commands_per_sec,
+                ts.best.elapsed_ms,
+                ts.runs_json(),
+                ts.spread_pct()
+            );
         }
         println!("  }},");
         println!("  \"sweep\": [");
@@ -347,6 +452,26 @@ fn main() {
                 ])
             );
         }
+    }
+
+    println!("\nsharded KV, n = 4 per group, channel mesh, batch 1, {COMMANDS} live puts");
+    println!(
+        "({host_cores} host cores, {verify_workers} verify workers per seat, best of {TRIALS}):"
+    );
+    println!(
+        "{}",
+        header(&["shards", "commands/sec", "elapsed (ms)", "spread"])
+    );
+    for (shards, ts) in &shard_results {
+        println!(
+            "{}",
+            row(&[
+                shards.to_string(),
+                format!("{:.0}", ts.best.commands_per_sec),
+                format!("{:.2}", ts.best.elapsed_ms),
+                format!("{:.1}%", ts.spread_pct()),
+            ])
+        );
     }
 
     println!("\nn × payload sweep (best of {TRIALS}):");

@@ -192,32 +192,55 @@ type CertFingerprint = (CertKind, View, Digest, Digest);
 /// genuinely carried a quorum of valid signatures, which bounds the cache
 /// by real protocol traffic (a capacity backstop guards the pathological
 /// case anyway).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CertCache {
     seen: HashSet<CertFingerprint>,
+    /// Bound on memoized entries; on overflow the memo resets.
+    capacity: usize,
     /// Observability handle: cache hits/misses and the signature-memo
     /// work of cache-missing verifications are recorded here (disabled by
     /// default — [`CertCache::with_metrics`] enables it).
     metrics: MetricsHandle,
 }
 
-/// Backstop bound on [`CertCache`] entries; on overflow the memo resets
-/// (correctness is unaffected — certificates are simply re-verified).
-const CERT_CACHE_CAP: usize = 4096;
+/// Default backstop bound on [`CertCache`] entries; on overflow the memo
+/// resets (correctness is unaffected — certificates are simply
+/// re-verified). Deployments tune this through
+/// `ReplicaOptions::cert_cache_capacity`.
+pub const DEFAULT_CERT_CACHE_CAPACITY: usize = 4096;
+
+impl Default for CertCache {
+    fn default() -> Self {
+        CertCache::new()
+    }
+}
 
 impl CertCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
-        CertCache::default()
+        CertCache::with_capacity(DEFAULT_CERT_CACHE_CAPACITY, MetricsHandle::none())
     }
 
-    /// An empty cache that records hits, misses and signature-memo stats
-    /// into `metrics`.
+    /// An empty cache with the default capacity that records hits, misses
+    /// and signature-memo stats into `metrics`.
     pub fn with_metrics(metrics: MetricsHandle) -> Self {
+        CertCache::with_capacity(DEFAULT_CERT_CACHE_CAPACITY, metrics)
+    }
+
+    /// An empty cache bounded at `capacity` memoized certificates. A
+    /// capacity of 0 disables memoization entirely (every certificate is
+    /// re-verified); hit/miss metrics still flow.
+    pub fn with_capacity(capacity: usize, metrics: MetricsHandle) -> Self {
         CertCache {
             seen: HashSet::new(),
+            capacity,
             metrics,
         }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of memoized certificates (for tests and monitoring).
@@ -244,8 +267,8 @@ impl CertCache {
             m.cert_cache_miss_total.inc();
         }
         let ok = verify(&self.metrics);
-        if ok {
-            if self.seen.len() >= CERT_CACHE_CAP {
+        if ok && self.capacity > 0 {
+            if self.seen.len() >= self.capacity {
                 self.seen.clear();
             }
             self.seen.insert(key);
@@ -702,6 +725,61 @@ mod tests {
         assert!(!fresh.verify_cached(&cfg, &dir, &mut cache));
         // Failures are not memoized.
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cert_cache_capacity_bounds_and_evicts() {
+        let (cfg, pairs, dir) = setup();
+        let mut cache = CertCache::with_capacity(4, MetricsHandle::none());
+        assert_eq!(cache.capacity(), 4);
+        let cert_for = |view: u64| {
+            let x = Value::from_u64(view);
+            let payload = ack_payload(&x, View(view));
+            CommitCert {
+                value: x,
+                view: View(view),
+                sigs: pairs[..3].iter().map(|p| p.sign(&payload)).collect(),
+            }
+        };
+        // Fill to capacity: all four distinct certs are memoized.
+        for view in 1..=4 {
+            assert!(cert_for(view).verify_cached(&cfg, &dir, &mut cache));
+        }
+        assert_eq!(cache.len(), 4);
+        // A fifth distinct cert overflows: the memo resets wholesale and
+        // only the newcomer remains …
+        assert!(cert_for(5).verify_cached(&cfg, &dir, &mut cache));
+        assert_eq!(cache.len(), 1);
+        // … so an evicted cert re-verifies (paying its HMACs again) and is
+        // re-admitted. Correctness is unaffected either way.
+        let evicted: CommitCert =
+            fastbft_types::wire::from_bytes(&cert_for(1).to_wire_bytes()).unwrap();
+        let before = dir.verifications_performed();
+        assert!(evicted.verify_cached(&cfg, &dir, &mut cache));
+        #[cfg(debug_assertions)]
+        assert!(dir.verifications_performed() > before);
+        #[cfg(not(debug_assertions))]
+        let _ = before;
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cert_cache_capacity_zero_disables_memoization() {
+        let (cfg, pairs, dir) = setup();
+        let x = Value::from_u64(5);
+        let payload = ack_payload(&x, View(1));
+        let cc = CommitCert {
+            value: x.clone(),
+            view: View(1),
+            sigs: pairs[..3].iter().map(|p| p.sign(&payload)).collect(),
+        };
+        let mut cache = CertCache::with_capacity(0, MetricsHandle::none());
+        assert!(cc.verify_cached(&cfg, &dir, &mut cache));
+        assert!(cache.is_empty());
+        // Nothing was memoized, but verification still succeeds.
+        let fresh: CommitCert = fastbft_types::wire::from_bytes(&cc.to_wire_bytes()).unwrap();
+        assert!(fresh.verify_cached(&cfg, &dir, &mut cache));
+        assert!(cache.is_empty());
     }
 
     #[test]

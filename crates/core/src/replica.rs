@@ -52,6 +52,19 @@ pub struct ReplicaOptions {
     /// so it threads unchanged through every construction path (the SMR
     /// multiplexer clones the options into each per-slot replica).
     pub metrics: MetricsHandle,
+    /// Entry bound for the certificate-verification cache
+    /// ([`CertCache`]); on overflow the cache resets and certificates are
+    /// simply re-verified. 0 disables memoization.
+    pub cert_cache_capacity: usize,
+    /// Worker threads for the runtime's inbound verify/decode pool. This
+    /// is a *runtime* knob — the replica itself never spawns threads; it
+    /// rides here so it threads through every construction path the same
+    /// way `metrics` does. `0` (the value every simulator path uses) means
+    /// fully inline verification: bit-for-bit the single-threaded
+    /// datapath. Defaults to
+    /// [`default_verify_workers`](ReplicaOptions::default_verify_workers)
+    /// — cores − 1, which is 0 on a single-core host.
+    pub verify_workers: usize,
 }
 
 impl Default for ReplicaOptions {
@@ -61,7 +74,20 @@ impl Default for ReplicaOptions {
             slow_path: None,
             base_timeout: SimDuration(SimDuration::DELTA.0 * 8),
             metrics: MetricsHandle::none(),
+            cert_cache_capacity: crate::certs::DEFAULT_CERT_CACHE_CAPACITY,
+            verify_workers: Self::default_verify_workers(),
         }
+    }
+}
+
+impl ReplicaOptions {
+    /// The default verify-pool width for a multicore deployment: every
+    /// available core except the one the event loop occupies. On a
+    /// single-core host this is 0 — fully inline, no pool.
+    pub fn default_verify_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(|p| p.get().saturating_sub(1))
+            .unwrap_or(0)
     }
 }
 
@@ -212,7 +238,7 @@ impl Replica {
             timer_gen: 0,
             interned: BTreeSet::new(),
             interned_bytes: 0,
-            cert_cache: CertCache::with_metrics(opts.metrics.clone()),
+            cert_cache: CertCache::with_capacity(opts.cert_cache_capacity, opts.metrics.clone()),
             metrics: opts.metrics,
             decided_path: None,
         }

@@ -1,8 +1,9 @@
 //! Per-process keys, signatures and the verification directory.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
 use fastbft_types::ProcessId;
@@ -120,6 +121,80 @@ impl KeyPair {
     }
 }
 
+/// Longest statement the shared verification memo will key on. Protocol
+/// statements are 41 bytes (`tag ‖ H(m) ‖ v`) and checkpoint attestations
+/// 48; anything longer skips the memo rather than growing the key.
+const MEMO_STATEMENT_MAX: usize = 64;
+
+/// Bound on the shared verification memo. On overflow the memo is cleared
+/// wholesale (the certificate-cache idiom): correctness never depends on a
+/// hit, and a reset costs at most one re-verification per live statement.
+const MEMO_CAP: usize = 1 << 14;
+
+/// Key of one memoized verification: the claimed signer, the *full*
+/// statement bytes, and the signature tag. All three are bound, so a hit
+/// can only reproduce a previously successful check of the identical
+/// triple — a tag memoized for one statement can never vouch for another.
+#[derive(PartialEq, Eq, Hash)]
+struct MemoKey {
+    signer: ProcessId,
+    tag: Digest,
+    len: u8,
+    stmt: [u8; MEMO_STATEMENT_MAX],
+}
+
+impl MemoKey {
+    /// Builds the key for `(parts, sig)`; `None` when the concatenated
+    /// statement exceeds [`MEMO_STATEMENT_MAX`] (such checks skip the memo).
+    fn build(parts: &[&[u8]], sig: &Signature) -> Option<MemoKey> {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        if total > MEMO_STATEMENT_MAX {
+            return None;
+        }
+        let mut stmt = [0u8; MEMO_STATEMENT_MAX];
+        let mut at = 0;
+        for part in parts {
+            stmt[at..at + part.len()].copy_from_slice(part);
+            at += part.len();
+        }
+        Some(MemoKey {
+            signer: sig.signer,
+            tag: *sig.tag(),
+            len: total as u8,
+            stmt,
+        })
+    }
+}
+
+impl fmt::Debug for MemoKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Statement bytes can embed digests of values; keep Debug terse.
+        write!(f, "MemoKey({} · {} bytes)", self.signer, self.len)
+    }
+}
+
+/// The shared cross-clone verification memo (see
+/// [`KeyDirectory::enable_shared_memo`]). Only *successful* checks are
+/// recorded, so garbage can never poison it.
+#[derive(Debug, Default)]
+struct VerifyMemo {
+    seen: Mutex<HashSet<MemoKey>>,
+}
+
+impl VerifyMemo {
+    fn contains(&self, key: &MemoKey) -> bool {
+        self.seen.lock().expect("memo poisoned").contains(key)
+    }
+
+    fn insert(&self, key: MemoKey) {
+        let mut seen = self.seen.lock().expect("memo poisoned");
+        if seen.len() >= MEMO_CAP {
+            seen.clear();
+        }
+        seen.insert(key);
+    }
+}
+
 /// The verification directory: maps each process id to its verification key.
 ///
 /// Plays the role of the paper's PKI ("every process knows the identifiers
@@ -138,6 +213,14 @@ pub struct KeyDirectory {
     /// as "the HMAC work happens once" — this counter is what lets tests
     /// assert that, per directory, without a process-global.
     verifications: Arc<AtomicU64>,
+    /// Cross-clone memo of *successful* verifications, disabled by default
+    /// (`OnceLock` stays empty). A `OnceLock` rather than an
+    /// `Option<Arc<…>>` so that [`enable_shared_memo`] on any clone turns
+    /// the memo on for every clone already handed out — replica actors are
+    /// built before the verify pool that warms the memo for them.
+    ///
+    /// [`enable_shared_memo`]: KeyDirectory::enable_shared_memo
+    memo: Arc<OnceLock<VerifyMemo>>,
 }
 
 impl KeyDirectory {
@@ -162,6 +245,7 @@ impl KeyDirectory {
             KeyDirectory {
                 engines: Arc::new(engines),
                 verifications: Arc::new(AtomicU64::new(0)),
+                memo: Arc::new(OnceLock::new()),
             },
         )
     }
@@ -176,6 +260,30 @@ impl KeyDirectory {
     /// between reader threads for test-only instrumentation.
     pub fn verifications_performed(&self) -> u64 {
         self.verifications.load(Ordering::Relaxed)
+    }
+
+    /// Turns on the shared verification memo for this directory *and every
+    /// clone of it*, existing or future.
+    ///
+    /// With the memo on, a successful [`verify`](KeyDirectory::verify) of a
+    /// `(signer, statement, tag)` triple is recorded, and any later check of
+    /// the identical triple — from any clone, any thread — returns `true`
+    /// without redoing the MAC. This is what makes a verify-pool worker's
+    /// check reusable by the replica's own inline verification paths: both
+    /// hold clones of one directory.
+    ///
+    /// Only successes are memoized, and the key binds the full statement
+    /// bytes, so the memo can never accept anything the MAC would reject.
+    /// Off by default: the deterministic simulator and the
+    /// `verify_workers = 0` configuration take the exact pre-existing path.
+    pub fn enable_shared_memo(&self) {
+        self.memo.get_or_init(VerifyMemo::default);
+    }
+
+    /// Whether [`enable_shared_memo`](KeyDirectory::enable_shared_memo) has
+    /// been called on this directory or any clone of it.
+    pub fn shared_memo_enabled(&self) -> bool {
+        self.memo.get().is_some()
     }
 
     /// Number of processes the directory knows about.
@@ -205,11 +313,32 @@ impl KeyDirectory {
         else {
             return false;
         };
+        let memo_key = match self.memo.get() {
+            Some(memo) => {
+                let key = MemoKey::build(parts, sig);
+                if let Some(k) = &key {
+                    if memo.contains(k) {
+                        // A recorded success of this exact triple: the MAC
+                        // already matched once, skip recomputing it. No
+                        // `verifications` bump — the counter counts MACs.
+                        return true;
+                    }
+                }
+                key
+            }
+            None => None,
+        };
         // Test-only instrumentation (see `verifications_performed`): not
         // worth a shared atomic on the per-frame hot path in release.
         #[cfg(debug_assertions)]
         self.verifications.fetch_add(1, Ordering::Relaxed);
-        digest_eq(&engine.mac_parts(parts), &sig.tag)
+        let ok = digest_eq(&engine.mac_parts(parts), &sig.tag);
+        if ok {
+            if let (Some(memo), Some(key)) = (self.memo.get(), memo_key) {
+                memo.insert(key);
+            }
+        }
+        ok
     }
 
     /// Verifies a batch, returning `true` only if *all* signatures are valid
@@ -295,6 +424,75 @@ mod tests {
         roundtrip(&sigs);
         // Wire size matches the constant.
         assert_eq!(sig.to_wire_bytes().len(), Signature::WIRE_SIZE);
+    }
+
+    #[test]
+    fn memo_disabled_by_default() {
+        let (pairs, dir) = KeyDirectory::generate(2, 11);
+        assert!(!dir.shared_memo_enabled());
+        let sig = pairs[0].sign(b"m");
+        assert!(dir.verify(b"m", &sig));
+        assert!(dir.verify(b"m", &sig));
+        // Without the memo every verify pays a MAC (counted in debug).
+        #[cfg(debug_assertions)]
+        assert_eq!(dir.verifications_performed(), 2);
+    }
+
+    #[test]
+    fn memo_hit_skips_the_mac() {
+        let (pairs, dir) = KeyDirectory::generate(2, 11);
+        dir.enable_shared_memo();
+        let sig = pairs[0].sign(b"statement");
+        assert!(dir.verify(b"statement", &sig));
+        let before = dir.verifications_performed();
+        // Same triple again, and through a *clone* — both must hit.
+        assert!(dir.verify(b"statement", &sig));
+        assert!(dir.clone().verify(b"statement", &sig));
+        assert_eq!(dir.verifications_performed(), before);
+    }
+
+    #[test]
+    fn memo_never_vouches_for_a_different_statement_or_signer() {
+        let (pairs, dir) = KeyDirectory::generate(2, 11);
+        dir.enable_shared_memo();
+        let sig = pairs[0].sign(b"good");
+        assert!(dir.verify(b"good", &sig));
+        // The memoized tag must not transfer to another statement, another
+        // claimed signer, or a split of the same bytes with different
+        // lengths claimed.
+        assert!(!dir.verify(b"evil", &sig));
+        assert!(!dir.verify(b"good", &Signature::from_parts(ProcessId(2), *sig.tag())));
+        assert!(!dir.verify_parts(&[b"go", b"od!"], &sig));
+    }
+
+    #[test]
+    fn memo_enable_propagates_to_preexisting_clones() {
+        let (pairs, dir) = KeyDirectory::generate(2, 11);
+        let earlier_clone = dir.clone();
+        dir.enable_shared_memo();
+        assert!(earlier_clone.shared_memo_enabled());
+        let sig = pairs[1].sign(b"warmed");
+        // Warm through one clone, hit through the other.
+        assert!(dir.verify(b"warmed", &sig));
+        let before = earlier_clone.verifications_performed();
+        assert!(earlier_clone.verify(b"warmed", &sig));
+        assert_eq!(earlier_clone.verifications_performed(), before);
+    }
+
+    #[test]
+    fn oversized_statements_bypass_the_memo() {
+        let (pairs, dir) = KeyDirectory::generate(2, 11);
+        dir.enable_shared_memo();
+        let long = vec![7u8; MEMO_STATEMENT_MAX + 1];
+        let sig = pairs[0].sign(&long);
+        assert!(dir.verify(&long, &sig));
+        let before = dir.verifications_performed();
+        // Verifies fine, but pays the MAC again: no memo entry was made.
+        assert!(dir.verify(&long, &sig));
+        #[cfg(debug_assertions)]
+        assert_eq!(dir.verifications_performed(), before + 1);
+        #[cfg(not(debug_assertions))]
+        let _ = before;
     }
 
     #[test]

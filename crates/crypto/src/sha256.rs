@@ -99,22 +99,29 @@ fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
     state[7] = state[7].wrapping_add(h);
 }
 
-/// Compresses a whole 64-byte-aligned span in one call, through the SHA-NI
-/// core when the CPU has one (several× the scalar throughput — this is what
-/// keeps the per-frame session MACs cheap) and the unrolled scalar rounds
-/// otherwise.
+/// Compresses a whole 64-byte-aligned span in one call, through a hardware
+/// SHA-256 core when the CPU has one — SHA-NI on x86-64, the ARMv8
+/// cryptography extension on aarch64; several× the scalar throughput
+/// either way, which is what keeps the per-frame session MACs cheap — and
+/// the unrolled scalar rounds otherwise.
 ///
 /// # Panics
 ///
 /// Panics (debug) if `data` is not a multiple of 64 bytes.
 #[inline]
-#[allow(unsafe_code)] // the dispatch into the feature-gated SHA-NI core
+#[allow(unsafe_code)] // the dispatch into the feature-gated hardware cores
 fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
     debug_assert_eq!(data.len() % 64, 0, "span must be block-aligned");
     #[cfg(target_arch = "x86_64")]
     if shani::available() {
         // SAFETY: `available()` just confirmed the required CPU features.
         unsafe { shani::compress_blocks(state, data) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if sha2arm::available() {
+        // SAFETY: `available()` just confirmed the required CPU features.
+        unsafe { sha2arm::compress_blocks(state, data) };
         return;
     }
     for block in data.chunks_exact(64) {
@@ -242,6 +249,103 @@ mod shani {
         let out = state.as_mut_ptr() as *mut __m128i;
         _mm_storeu_si128(out, dcba);
         _mm_storeu_si128(out.add(1), hgfe);
+    }
+}
+
+/// SHA-256 rounds + message schedule on the ARMv8 cryptography extension —
+/// the aarch64 twin of the [`shani`] core above.
+///
+/// The mapping is more direct than on x86: the eight state words live in
+/// two `uint32x4_t` registers in plain `ABCD`/`EFGH` order, `SHA256H` /
+/// `SHA256H2` (`vsha256hq_u32` / `vsha256h2q_u32`) advance **four** rounds
+/// per pair, and `SHA256SU0`/`SHA256SU1` compute the schedule recurrence
+/// four words at a time. Message words load little-endian and are fixed up
+/// with a per-word byte reverse (`vrev32q_u8`).
+///
+/// Same scoped-`unsafe` contract as [`shani`]: safety is confined to CPU
+/// feature availability (checked at runtime in [`available`]) — `vld1q_*`
+/// / `vst1q_*` accept unaligned addresses. Correctness is pinned by the
+/// FIPS 180-4 / NIST CAVP vectors in the test module, which run through
+/// this path on ARMv8 crypto hardware.
+///
+/// [`available`]: sha2arm::available
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod sha2arm {
+    use super::K;
+    use core::arch::aarch64::*;
+
+    /// Whether the CPU supports the instructions [`compress_blocks`] uses.
+    /// `is_aarch64_feature_detected!` caches, so this is an atomic load per
+    /// call.
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_aarch64_feature_detected!("sha2")
+    }
+
+    /// Four rounds from the schedule words `w` and round constants `K[4i..]`.
+    macro_rules! rounds4 {
+        ($abcd:ident, $efgh:ident, $w:expr, $i:expr) => {{
+            let wk = vaddq_u32($w, vld1q_u32(K.as_ptr().add(4 * $i)));
+            let t = $abcd;
+            $abcd = vsha256hq_u32($abcd, $efgh, wk);
+            $efgh = vsha256h2q_u32($efgh, t, wk);
+        }};
+    }
+
+    /// Schedule the next four message words in place, then run their rounds:
+    /// `w0 = su1(su0(w0, w1), w2, w3)` is exactly `W[i] = W[i-16] + σ0(W[i-15])
+    /// + W[i-7] + σ1(W[i-2])` four lanes at a time.
+    macro_rules! schedule_rounds4 {
+        ($abcd:ident, $efgh:ident, $w0:ident, $w1:ident, $w2:ident, $w3:ident, $i:expr) => {{
+            $w0 = vsha256su1q_u32(vsha256su0q_u32($w0, $w1), $w2, $w3);
+            rounds4!($abcd, $efgh, $w0, $i);
+        }};
+    }
+
+    /// Compresses a 64-byte-aligned span (`data.len() % 64 == 0`).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have confirmed [`available`].
+    #[target_feature(enable = "neon,sha2")]
+    pub unsafe fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+        let mut abcd = vld1q_u32(state.as_ptr());
+        let mut efgh = vld1q_u32(state.as_ptr().add(4));
+
+        for block in data.chunks_exact(64) {
+            let abcd_save = abcd;
+            let efgh_save = efgh;
+
+            let p = block.as_ptr();
+            let mut w0 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p)));
+            let mut w1 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p.add(16))));
+            let mut w2 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p.add(32))));
+            let mut w3 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p.add(48))));
+
+            rounds4!(abcd, efgh, w0, 0);
+            rounds4!(abcd, efgh, w1, 1);
+            rounds4!(abcd, efgh, w2, 2);
+            rounds4!(abcd, efgh, w3, 3);
+            schedule_rounds4!(abcd, efgh, w0, w1, w2, w3, 4);
+            schedule_rounds4!(abcd, efgh, w1, w2, w3, w0, 5);
+            schedule_rounds4!(abcd, efgh, w2, w3, w0, w1, 6);
+            schedule_rounds4!(abcd, efgh, w3, w0, w1, w2, 7);
+            schedule_rounds4!(abcd, efgh, w0, w1, w2, w3, 8);
+            schedule_rounds4!(abcd, efgh, w1, w2, w3, w0, 9);
+            schedule_rounds4!(abcd, efgh, w2, w3, w0, w1, 10);
+            schedule_rounds4!(abcd, efgh, w3, w0, w1, w2, 11);
+            schedule_rounds4!(abcd, efgh, w0, w1, w2, w3, 12);
+            schedule_rounds4!(abcd, efgh, w1, w2, w3, w0, 13);
+            schedule_rounds4!(abcd, efgh, w2, w3, w0, w1, 14);
+            schedule_rounds4!(abcd, efgh, w3, w0, w1, w2, 15);
+
+            abcd = vaddq_u32(abcd, abcd_save);
+            efgh = vaddq_u32(efgh, efgh_save);
+        }
+
+        vst1q_u32(state.as_mut_ptr(), abcd);
+        vst1q_u32(state.as_mut_ptr().add(4), efgh);
     }
 }
 

@@ -57,12 +57,17 @@ use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::time::Duration;
 
+use crossbeam::channel::Sender;
 use fastbft_crypto::{KeyDirectory, KeyPair};
-use fastbft_runtime::{spawn_with, ClusterHandle, NodeSeat, Transport};
+use fastbft_runtime::{
+    spawn_with, split_groups, ClusterHandle, GroupMessage, GroupTransport, Inbound, NodeSeat,
+    ShardPump, Transport,
+};
 use fastbft_sim::{Actor, SimMessage};
 use fastbft_types::wire::{Decode, Encode};
+use fastbft_types::Value;
 
-pub use tcp::{TcpOptions, TcpStats, TcpTransport};
+pub use tcp::{TcpOptions, TcpSender, TcpStats, TcpTransport};
 
 /// Spawns a thread-per-replica cluster whose replicas talk over loopback
 /// TCP with authenticated frames — the socket-backed sibling of
@@ -162,6 +167,7 @@ pub fn tcp_seats<M: SimMessage + Encode + Decode>(
             actor,
             transport,
             control,
+            verify: None,
         });
     }
     Ok((seats, addrs))
@@ -227,6 +233,7 @@ pub fn tcp_seats_metered<M: SimMessage + Encode + Decode>(
             actor,
             transport,
             control,
+            verify: None,
         });
     }
     Ok((seats, addrs))
@@ -287,6 +294,7 @@ pub fn tcp_seats_retaining<M: SimMessage + Encode + Decode>(
             actor,
             transport,
             control,
+            verify: None,
         });
     }
     Ok((seats, addrs, retained))
@@ -314,7 +322,87 @@ pub fn tcp_reseat<M: SimMessage + Encode + Decode>(
         actor,
         transport,
         control,
+        verify: None,
     })
+}
+
+/// One node's slice of a sharded TCP mesh: its per-group transports (and
+/// their control senders) plus the pump that routes the shared socket
+/// mesh's inbound traffic to them (see
+/// [`fastbft_runtime::shard`]).
+pub type TcpGroupSeats<M> = Vec<(
+    GroupTransport<M, TcpSender<GroupMessage<M>>>,
+    Sender<Inbound<M>>,
+)>;
+
+/// Builds a sharded loopback-TCP mesh: one socket mesh (one listener and
+/// one set of writer threads per node), multiplexing `groups` independent
+/// consensus groups over group-tagged frames. For each node this returns
+/// its per-group `(transport, control)` pairs — assemble group `g`'s
+/// cluster by taking element `g` from every node and pairing it with that
+/// group's actors in [`NodeSeat`]s. `router` maps a client command to the
+/// group that must order it.
+///
+/// **Teardown order:** shut the group clusters down first, then drop the
+/// returned [`ShardPump`]s — each pump owns its node's underlying
+/// [`TcpTransport`], whose teardown waits for the groups' sender clones
+/// to be gone.
+///
+/// # Errors
+///
+/// An [`io::Error`] if binding the loopback listeners fails.
+///
+/// # Panics
+///
+/// Panics if a key pair is out of place (`pairs[i]` must belong to
+/// process `p_{i+1}`) or `groups == 0`.
+#[allow(clippy::type_complexity)]
+pub fn tcp_shard_mesh<M, R>(
+    pairs: Vec<KeyPair>,
+    dir: KeyDirectory,
+    opts: TcpOptions,
+    groups: usize,
+    router: R,
+) -> io::Result<(Vec<TcpGroupSeats<M>>, Vec<SocketAddr>, Vec<ShardPump>)>
+where
+    M: SimMessage + Encode + Decode,
+    R: Fn(&Value) -> usize + Send + Clone + 'static,
+{
+    let n = pairs.len();
+    assert!(groups > 0, "at least one group");
+    for (i, pair) in pairs.iter().enumerate() {
+        assert_eq!(
+            pair.id().index(),
+            i,
+            "pairs[{i}] must belong to process p{}",
+            i + 1
+        );
+    }
+
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+        .collect::<io::Result<_>>()?;
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(TcpListener::local_addr)
+        .collect::<io::Result<_>>()?;
+
+    let mut nodes = Vec::with_capacity(n);
+    let mut pumps = Vec::with_capacity(n);
+    for (pair, listener) in pairs.into_iter().zip(listeners) {
+        let (transport, _control) = TcpTransport::<GroupMessage<M>>::start(
+            pair,
+            dir.clone(),
+            listener,
+            addrs.clone(),
+            opts.clone(),
+        )?;
+        let sender = transport.sender();
+        let (group_seats, pump) = split_groups(transport, sender, groups, router.clone());
+        nodes.push(group_seats);
+        pumps.push(pump);
+    }
+    Ok((nodes, addrs, pumps))
 }
 
 /// Compile-time proof that [`TcpTransport`] satisfies the runtime's

@@ -102,6 +102,7 @@ fn run(seed: u64, blackhole: bool) -> (f64, u64) {
             actor,
             transport,
             control,
+            verify: None,
         });
     }
     // In the blackhole run, listeners[3] stays bound (SYNs are accepted by

@@ -40,6 +40,10 @@ pub struct Metrics {
     pub sig_memo_miss_total: Counter,
     // smr: the slot multiplexer.
     pub dedup_dropped_total: Counter,
+    // runtime: the inbound verify/decode pool.
+    pub verify_offload_total: Counter,
+    pub verify_inline_total: Counter,
+    pub verify_queue_depth: Gauge,
     pub snapshot_taken_total: Counter,
     pub snapshot_installed_total: Counter,
     pub backfill_slots_total: Counter,
@@ -68,7 +72,7 @@ impl Metrics {
     }
 
     /// `(name, help, counter)` for every counter, in exposition order.
-    fn counters(&self) -> [(&'static str, &'static str, &Counter); 15] {
+    fn counters(&self) -> [(&'static str, &'static str, &Counter); 17] {
         [
             (
                 "commit_fast_total",
@@ -109,6 +113,16 @@ impl Metrics {
                 "dedup_dropped_total",
                 "Committed commands skipped by identity dedup (at-most-once).",
                 &self.dedup_dropped_total,
+            ),
+            (
+                "verify_offload_total",
+                "Inbound messages whose signature checks ran on a verify-pool worker.",
+                &self.verify_offload_total,
+            ),
+            (
+                "verify_inline_total",
+                "Inbound messages verified inline on the event loop (no pool).",
+                &self.verify_inline_total,
             ),
             (
                 "snapshot_taken_total",
@@ -171,12 +185,17 @@ impl Metrics {
     }
 
     /// `(name, help, gauge)` for every gauge.
-    fn gauges(&self) -> [(&'static str, &'static str, &Gauge); 2] {
+    fn gauges(&self) -> [(&'static str, &'static str, &Gauge); 3] {
         [
             (
                 "stash_depth",
                 "Future-slot messages currently stashed (bounded).",
                 &self.stash_depth,
+            ),
+            (
+                "verify_queue_depth",
+                "Messages submitted to the verify pool and not yet consumed.",
+                &self.verify_queue_depth,
             ),
             (
                 "writer_queue_depth_peak",
@@ -266,17 +285,36 @@ impl MetricsHandle {
 #[derive(Clone, Debug)]
 pub struct MetricsRegistry {
     replicas: Vec<Arc<Metrics>>,
+    /// Consensus groups covered; blocks are stored row-major, shard 0's
+    /// `n` seats first. `1` for an unsharded cluster — and then no
+    /// `shard` label appears in any exposition, byte-identical to the
+    /// pre-sharding output.
+    shards: usize,
 }
 
 impl MetricsRegistry {
-    /// A registry for an `n`-replica cluster.
+    /// A registry for an `n`-replica cluster (a single consensus group).
     pub fn new(n: usize) -> Self {
+        MetricsRegistry::new_sharded(n, 1)
+    }
+
+    /// A registry for a sharded deployment: `shards` consensus groups of
+    /// `n` replica seats each, every `(shard, seat)` pair with its own
+    /// block. With `shards > 1` each exposed series carries a
+    /// `shard="sG"` label next to `replica="pN"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn new_sharded(n: usize, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
         MetricsRegistry {
-            replicas: (0..n).map(|_| Arc::new(Metrics::new())).collect(),
+            replicas: (0..n * shards).map(|_| Arc::new(Metrics::new())).collect(),
+            shards,
         }
     }
 
-    /// Number of replica seats.
+    /// Number of blocks (replica seats × shards).
     pub fn len(&self) -> usize {
         self.replicas.len()
     }
@@ -286,14 +324,43 @@ impl MetricsRegistry {
         self.replicas.is_empty()
     }
 
+    /// Number of consensus groups covered (1 when unsharded).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The `replica="pN"` label set for block `index`, including the
+    /// `shard` label when the registry covers more than one group.
+    fn labels(&self, index: usize) -> String {
+        let n = self.replicas.len() / self.shards;
+        if self.shards > 1 {
+            format!("replica=\"p{}\",shard=\"s{}\"", index % n + 1, index / n)
+        } else {
+            format!("replica=\"p{}\"", index + 1)
+        }
+    }
+
     /// An enabled handle for replica seat `index` (0-based: seat 0 is
-    /// process p1, matching the workspace's actor-vector convention).
+    /// process p1, matching the workspace's actor-vector convention). In
+    /// a sharded registry this addresses shard 0.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn replica(&self, index: usize) -> MetricsHandle {
         MetricsHandle(Some(Arc::clone(&self.replicas[index])))
+    }
+
+    /// An enabled handle for seat `index` of consensus group `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` or `index` is out of range.
+    pub fn shard_replica(&self, shard: usize, index: usize) -> MetricsHandle {
+        let n = self.replicas.len() / self.shards;
+        assert!(shard < self.shards, "shard {shard} out of range");
+        assert!(index < n, "replica {index} out of range");
+        MetricsHandle(Some(Arc::clone(&self.replicas[shard * n + index])))
     }
 
     /// Direct access to seat `index`'s block (assertions, scrapes).
@@ -333,7 +400,7 @@ impl MetricsRegistry {
                     .find(|(n, _, _)| *n == name)
                     .map(|(_, _, c)| c.get())
                     .unwrap_or(0);
-                let _ = writeln!(out, "fastbft_{name}{{replica=\"p{}\"}} {value}", i + 1);
+                let _ = writeln!(out, "fastbft_{name}{{{}}} {value}", self.labels(i));
             }
         }
         for (name, help) in probe.gauges().map(|(name, help, _)| (name, help)) {
@@ -346,7 +413,7 @@ impl MetricsRegistry {
                     .find(|(n, _, _)| *n == name)
                     .map(|(_, _, g)| g.get())
                     .unwrap_or(0);
-                let _ = writeln!(out, "fastbft_{name}{{replica=\"p{}\"}} {value}", i + 1);
+                let _ = writeln!(out, "fastbft_{name}{{{}}} {value}", self.labels(i));
             }
         }
         for (name, help) in probe.histograms().map(|(name, help, _)| (name, help)) {
@@ -359,20 +426,16 @@ impl MetricsRegistry {
                     .find(|(n, _, _)| *n == name)
                     .map(|(_, _, h)| *h)
                     .expect("histogram families are identical across replicas");
-                let p = i + 1;
+                let labels = self.labels(i);
                 for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
                     let _ = writeln!(
                         out,
-                        "fastbft_{name}{{replica=\"p{p}\",quantile=\"{label}\"}} {}",
+                        "fastbft_{name}{{{labels},quantile=\"{label}\"}} {}",
                         h.quantile(q)
                     );
                 }
-                let _ = writeln!(out, "fastbft_{name}_sum{{replica=\"p{p}\"}} {}", h.sum());
-                let _ = writeln!(
-                    out,
-                    "fastbft_{name}_count{{replica=\"p{p}\"}} {}",
-                    h.count()
-                );
+                let _ = writeln!(out, "fastbft_{name}_sum{{{labels}}} {}", h.sum());
+                let _ = writeln!(out, "fastbft_{name}_count{{{labels}}} {}", h.count());
             }
         }
         out
@@ -387,7 +450,17 @@ impl MetricsRegistry {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"replica\":\"p{}\",\"counters\":{{", i + 1);
+            let n = self.replicas.len() / self.shards;
+            if self.shards > 1 {
+                let _ = write!(
+                    out,
+                    "{{\"replica\":\"p{}\",\"shard\":\"s{}\",\"counters\":{{",
+                    i % n + 1,
+                    i / n
+                );
+            } else {
+                let _ = write!(out, "{{\"replica\":\"p{}\",\"counters\":{{", i + 1);
+            }
             let mut first = true;
             for (name, _, c) in m.counters().iter().chain(m.byte_counters().iter()) {
                 if !first {
@@ -493,6 +566,50 @@ mod tests {
             assert!(series.contains("{replica=\"p"), "unlabeled series: {line}");
             assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
         }
+    }
+
+    #[test]
+    fn sharded_exposition_shape() {
+        let reg = MetricsRegistry::new_sharded(2, 2);
+        assert_eq!(reg.len(), 4);
+        assert_eq!(reg.shards(), 2);
+        reg.shard_replica(0, 0)
+            .get()
+            .unwrap()
+            .commit_fast_total
+            .inc();
+        reg.shard_replica(1, 1)
+            .get()
+            .unwrap()
+            .verify_offload_total
+            .add(9);
+        reg.shard_replica(1, 0)
+            .get()
+            .unwrap()
+            .verify_queue_depth
+            .set(3);
+        let text = reg.render_text();
+        // Every series carries both labels, replica first.
+        assert!(text.contains("fastbft_commit_fast_total{replica=\"p1\",shard=\"s0\"} 1"));
+        assert!(text.contains("fastbft_commit_fast_total{replica=\"p1\",shard=\"s1\"} 0"));
+        assert!(text.contains("fastbft_verify_offload_total{replica=\"p2\",shard=\"s1\"} 9"));
+        assert!(text.contains("fastbft_verify_queue_depth{replica=\"p1\",shard=\"s1\"} 3"));
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(series.contains("{replica=\"p"), "unlabeled series: {line}");
+            assert!(series.contains(",shard=\"s"), "shardless series: {line}");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+        }
+        // The JSON dump carries the same addressing.
+        let json = reg.render_json();
+        assert!(json.contains("\"replica\":\"p2\",\"shard\":\"s1\""));
+        assert!(json.contains("\"verify_offload_total\":9"));
+        // An unsharded registry's exposition stays exactly shard-free.
+        let flat = MetricsRegistry::new(2).render_text();
+        assert!(!flat.contains("shard="), "unsharded output grew a label");
     }
 
     #[test]

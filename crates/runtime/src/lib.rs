@@ -37,7 +37,11 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod shard;
 pub mod transport;
+pub mod verify;
 
 pub use cluster::{spawn, spawn_with, Applied, ClusterHandle, Decision, NodeSeat};
-pub use transport::{ChannelTransport, Inbound, Polled, Transport};
+pub use shard::{split_groups, GroupMessage, GroupSeats, GroupTransport, RawSender, ShardPump};
+pub use transport::{ChannelSender, ChannelTransport, Inbound, Polled, Staged, Transport};
+pub use verify::{Preverify, Ticket, VerifyPool};

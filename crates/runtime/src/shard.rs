@@ -1,0 +1,451 @@
+//! Multi-group fan-out: several consensus groups over one process mesh.
+//!
+//! A sharded deployment (see `fastbft_types::ShardMap`) runs `m`
+//! independent instances of the protocol — one per key-range shard — on
+//! the *same* `n` processes and the *same* transport mesh. This module is
+//! the runtime plumbing that makes that possible without touching the
+//! protocol:
+//!
+//! * [`GroupMessage`] tags every wire message with its group index, so one
+//!   mesh multiplexes all groups' traffic;
+//! * [`RawSender`] is the detachable send half of a mesh transport
+//!   ([`ChannelSender`] implements it; `fastbft-net`'s `TcpSender` is the
+//!   socket twin), cloneable so every group on a process can send
+//!   concurrently;
+//! * [`GroupTransport`] is what a group's event loop sees: a plain
+//!   [`Transport`] that wraps outbound messages in its group tag and is
+//!   fed inbound messages of its group only;
+//! * [`ShardPump`] is the per-process router thread that receives from
+//!   the real mesh transport and fans deliveries out to the group queues
+//!   by tag.
+//!
+//! Groups are *independent* consensus instances: cross-group delivery
+//! order carries no protocol meaning, so the pump only preserves order
+//! within a group (per peer) — which the per-group queues do naturally.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fastbft_sim::SimMessage;
+use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
+use fastbft_types::{ProcessId, Value};
+
+use crate::transport::{poll_queue, poll_queue_batch, ChannelSender, Inbound, Polled, Transport};
+
+/// A protocol message tagged with the consensus group it belongs to — the
+/// unit one mesh transport actually carries in a sharded deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupMessage<M> {
+    /// The consensus group (shard) index.
+    pub group: u32,
+    /// The untagged protocol message.
+    pub inner: M,
+}
+
+impl<M: SimMessage> SimMessage for GroupMessage<M> {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+    fn wire_size(&self) -> usize {
+        4 + self.inner.wire_size()
+    }
+}
+
+impl<M: Encode> Encode for GroupMessage<M> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.group.encode(buf);
+        self.inner.encode(buf);
+    }
+}
+
+impl<M: Decode> Decode for GroupMessage<M> {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(GroupMessage {
+            group: u32::decode(r)?,
+            inner: M::decode(r)?,
+        })
+    }
+}
+
+/// The detachable send half of a mesh transport carrying wire messages
+/// `W`. Every group's [`GroupTransport`] on a process holds a clone, so
+/// group event loops send concurrently while the receive half lives in
+/// the process's [`ShardPump`].
+pub trait RawSender<W: SimMessage>: Send + 'static {
+    /// Sends `msg` to `to` (same semantics as [`Transport::send`]).
+    fn send_raw(&mut self, to: ProcessId, msg: W);
+    /// Sends `msg` to every process including this one (same semantics as
+    /// [`Transport::broadcast`] — serializing senders encode once).
+    fn broadcast_raw(&mut self, msg: W);
+    /// Number of processes in the mesh.
+    fn mesh_size(&self) -> usize;
+}
+
+impl<W: SimMessage> RawSender<W> for ChannelSender<W> {
+    fn send_raw(&mut self, to: ProcessId, msg: W) {
+        self.send(to, msg);
+    }
+    fn broadcast_raw(&mut self, msg: W) {
+        self.broadcast(msg);
+    }
+    fn mesh_size(&self) -> usize {
+        ChannelSender::mesh_size(self)
+    }
+}
+
+/// One consensus group's view of a shared mesh: outbound messages are
+/// wrapped in the group tag and handed to the [`RawSender`]; inbound
+/// messages arrive on the group's own queue, fed by the process's
+/// [`ShardPump`]. To the group's event loop this is an ordinary
+/// [`Transport`].
+pub struct GroupTransport<M, S> {
+    group: u32,
+    sender: S,
+    rx: Receiver<Inbound<M>>,
+}
+
+impl<M, S> GroupTransport<M, S> {
+    /// The group this transport serves.
+    pub fn group(&self) -> u32 {
+        self.group
+    }
+}
+
+impl<M, S> Transport<M> for GroupTransport<M, S>
+where
+    M: SimMessage,
+    S: RawSender<GroupMessage<M>>,
+{
+    fn send(&mut self, to: ProcessId, msg: M) {
+        self.sender.send_raw(
+            to,
+            GroupMessage {
+                group: self.group,
+                inner: msg,
+            },
+        );
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        // One group-tagged broadcast: a serializing sender (TCP) encodes
+        // the payload once for all destinations.
+        self.sender.broadcast_raw(GroupMessage {
+            group: self.group,
+            inner: msg,
+        });
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.sender.mesh_size()
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Polled<M> {
+        poll_queue(&self.rx, timeout)
+    }
+
+    fn recv_batch(&mut self, max: usize, timeout: Option<Duration>) -> Vec<Polled<M>> {
+        poll_queue_batch(&self.rx, max, timeout)
+    }
+}
+
+/// How often the pump thread re-checks its stop flag while the mesh is
+/// quiet.
+const PUMP_POLL: Duration = Duration::from_millis(25);
+
+/// The per-process router thread behind a set of [`GroupTransport`]s: it
+/// owns the real mesh transport's receive side and fans every delivery
+/// out to the owning group's queue (clients are routed by the supplied
+/// key function).
+///
+/// **Teardown order matters**: call [`stop`](ShardPump::stop) only after
+/// the group event loops have shut down. The pump owns the real mesh
+/// transport, and dropping it (e.g. joining TCP writer threads) requires
+/// the groups' sender clones to be gone first.
+pub struct ShardPump {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ShardPump {
+    /// Signals the pump to stop, delivers `Shutdown` to every group queue,
+    /// joins the thread, and drops the mesh transport.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ShardPump {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+impl std::fmt::Debug for ShardPump {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPump")
+            .field("running", &self.thread.is_some())
+            .finish()
+    }
+}
+
+/// One process's per-group seats: a `(transport, control)` pair per
+/// group, as returned by [`split_groups`].
+pub type GroupSeats<M, S> = Vec<(GroupTransport<M, S>, Sender<Inbound<M>>)>;
+
+/// Splits one process's mesh transport into per-group transports.
+///
+/// `base` is the real transport (its receive side moves into the returned
+/// [`ShardPump`]'s thread); `sender` is its detachable send half, cloned
+/// into every group. `router` maps a client command to the group that
+/// must order it (out-of-range routes clamp to the last group). Returns
+/// one `(transport, control)` pair per group — drop-in replacements for
+/// what `ChannelTransport::mesh` hands a single-group seat — plus the
+/// pump.
+pub fn split_groups<M, T, S, R>(
+    base: T,
+    sender: S,
+    groups: usize,
+    router: R,
+) -> (GroupSeats<M, S>, ShardPump)
+where
+    M: SimMessage,
+    T: Transport<GroupMessage<M>>,
+    S: RawSender<GroupMessage<M>> + Clone,
+    R: Fn(&Value) -> usize + Send + 'static,
+{
+    assert!(groups > 0, "at least one group");
+    let mut out = Vec::with_capacity(groups);
+    let mut txs = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let (tx, rx) = unbounded::<Inbound<M>>();
+        txs.push(tx.clone());
+        out.push((
+            GroupTransport {
+                group: g as u32,
+                sender: sender.clone(),
+                rx,
+            },
+            tx,
+        ));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        let mut base = base;
+        let fan_shutdown = |txs: &[Sender<Inbound<M>>]| {
+            for tx in txs {
+                let _ = tx.send(Inbound::Shutdown);
+            }
+        };
+        loop {
+            if stop_flag.load(Ordering::Relaxed) {
+                fan_shutdown(&txs);
+                break;
+            }
+            match base.recv(Some(PUMP_POLL)) {
+                Polled::Delivered(from, gm) => {
+                    if let Some(tx) = txs.get(gm.group as usize) {
+                        let _ = tx.send(Inbound::Peer(from, gm.inner));
+                    }
+                    // Unknown group tags are dropped: a Byzantine peer
+                    // cannot make us queue unroutable work.
+                }
+                Polled::DeliveredBatch(from, gms) => {
+                    // Partition by group, preserving within-group order —
+                    // the only order that carries protocol meaning.
+                    let mut per_group: Vec<Vec<M>> = vec![Vec::new(); txs.len()];
+                    for gm in gms {
+                        if let Some(bucket) = per_group.get_mut(gm.group as usize) {
+                            bucket.push(gm.inner);
+                        }
+                    }
+                    for (g, msgs) in per_group.into_iter().enumerate() {
+                        if !msgs.is_empty() {
+                            let _ = txs[g].send(Inbound::PeerBatch(from, msgs));
+                        }
+                    }
+                }
+                Polled::Client(command) => {
+                    let g = router(&command).min(txs.len() - 1);
+                    let _ = txs[g].send(Inbound::Client(command));
+                }
+                Polled::Shutdown | Polled::Closed => {
+                    fan_shutdown(&txs);
+                    break;
+                }
+                Polled::TimedOut => {}
+            }
+        }
+        // `base` drops here — after the group loops exited (teardown
+        // contract above), so a TCP transport's writer join is safe.
+    });
+
+    (
+        out,
+        ShardPump {
+            stop,
+            thread: Some(thread),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(u32);
+    impl SimMessage for Ping {
+        fn kind(&self) -> &'static str {
+            "ping"
+        }
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+    impl Encode for Ping {
+        fn encode(&self, buf: &mut Vec<u8>) {
+            self.0.encode(buf);
+        }
+    }
+    impl Decode for Ping {
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            Ok(Ping(u32::decode(r)?))
+        }
+    }
+
+    /// Two processes, two groups over one channel mesh: group-tagged
+    /// traffic lands on the right group queue with the true sender id.
+    #[test]
+    fn deliveries_are_routed_by_group_tag() {
+        let mut mesh = ChannelTransport::<GroupMessage<Ping>>::mesh(2);
+        let (t1, _c1) = mesh.remove(1);
+        let (t0, _c0) = mesh.remove(0);
+        let sender0 = t0.sender();
+        let sender1 = t1.sender();
+        let (mut groups0, pump0) = split_groups(t0, sender0, 2, |_| 0);
+        let (groups1, pump1) = split_groups(t1, sender1.clone(), 2, |_| 0);
+
+        // p2 sends on group 1 to p1.
+        let (mut g1_of_p2, _ctl) = {
+            let mut v = groups1;
+            v.remove(1)
+        };
+        g1_of_p2.send(ProcessId(1), Ping(7));
+        let (ref mut g1_of_p1, _) = groups0[1];
+        match g1_of_p1.recv(Some(Duration::from_secs(2))) {
+            Polled::Delivered(from, Ping(7)) => assert_eq!(from, ProcessId(2)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Nothing leaked onto group 0.
+        let (ref mut g0_of_p1, _) = groups0[0];
+        assert!(matches!(
+            g0_of_p1.recv(Some(Duration::from_millis(20))),
+            Polled::TimedOut
+        ));
+        drop(groups0);
+        drop(g1_of_p2);
+        pump0.stop();
+        pump1.stop();
+    }
+
+    /// Client commands are routed by the key function; batches split per
+    /// group preserving within-group order.
+    #[test]
+    fn clients_route_and_batches_partition() {
+        let mut mesh = ChannelTransport::<GroupMessage<Ping>>::mesh(1);
+        let (t0, control) = mesh.remove(0);
+        let sender = t0.sender();
+        // Route: odd u64 payloads to group 1.
+        let (mut groups, pump) = split_groups(t0, sender, 2, |v: &Value| {
+            (v.as_bytes().last().copied().unwrap_or(0) % 2) as usize
+        });
+        control.send(Inbound::Client(Value::from_u64(2))).unwrap();
+        control.send(Inbound::Client(Value::from_u64(3))).unwrap();
+        // An in-order mixed batch from "p1".
+        control
+            .send(Inbound::PeerBatch(
+                ProcessId(1),
+                vec![
+                    GroupMessage {
+                        group: 0,
+                        inner: Ping(1),
+                    },
+                    GroupMessage {
+                        group: 1,
+                        inner: Ping(2),
+                    },
+                    GroupMessage {
+                        group: 0,
+                        inner: Ping(3),
+                    },
+                    // Unknown group: dropped, not queued anywhere.
+                    GroupMessage {
+                        group: 9,
+                        inner: Ping(4),
+                    },
+                ],
+            ))
+            .unwrap();
+
+        let (ref mut g0, _) = groups[0];
+        match g0.recv(Some(Duration::from_secs(2))) {
+            Polled::Client(v) => assert_eq!(v, Value::from_u64(2)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match g0.recv(Some(Duration::from_secs(2))) {
+            Polled::DeliveredBatch(from, msgs) => {
+                assert_eq!(from, ProcessId(1));
+                assert_eq!(msgs, vec![Ping(1), Ping(3)]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let (ref mut g1, _) = groups[1];
+        match g1.recv(Some(Duration::from_secs(2))) {
+            Polled::Client(v) => assert_eq!(v, Value::from_u64(3)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match g1.recv(Some(Duration::from_secs(2))) {
+            Polled::DeliveredBatch(_, msgs) => assert_eq!(msgs, vec![Ping(2)]),
+            other => panic!("unexpected: {other:?}"),
+        }
+        drop(groups);
+        pump.stop();
+    }
+
+    /// Stopping the pump delivers Shutdown to every group queue.
+    #[test]
+    fn stop_fans_shutdown_to_groups() {
+        let mut mesh = ChannelTransport::<GroupMessage<Ping>>::mesh(1);
+        let (t0, _control) = mesh.remove(0);
+        let sender = t0.sender();
+        let (mut groups, pump) = split_groups(t0, sender, 3, |_| 0);
+        pump.stop();
+        for (g, _) in groups.iter_mut() {
+            assert!(matches!(
+                g.recv(Some(Duration::from_secs(2))),
+                Polled::Shutdown
+            ));
+        }
+    }
+
+    #[test]
+    fn group_message_wire_roundtrips() {
+        fastbft_types::wire::roundtrip(&GroupMessage {
+            group: 3,
+            inner: Ping(77),
+        });
+    }
+}

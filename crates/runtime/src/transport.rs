@@ -18,6 +18,8 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use fastbft_sim::SimMessage;
 use fastbft_types::{ProcessId, Value};
 
+use crate::verify::{Ticket, VerifyPool};
+
 /// An event queued toward a node's event loop.
 #[derive(Debug)]
 pub enum Inbound<M> {
@@ -54,6 +56,20 @@ pub enum Polled<M> {
     TimedOut,
     /// The transport can never deliver again (every feeder is gone).
     Closed,
+}
+
+/// One entry of a *staged* receive batch (see
+/// [`Transport::recv_batch_staged`]): either an event that is ready to
+/// process, or a ticket for a delivery whose verification is in flight on
+/// the verify pool.
+#[derive(Debug)]
+pub enum Staged<M> {
+    /// Ready to hand to the actor (control outcomes, client commands, and
+    /// — with no pool — every delivery).
+    Ready(Polled<M>),
+    /// A delivery submitted to the pool; redeem with
+    /// [`VerifyPool::wait`] in batch order to preserve arrival order.
+    Pending(Ticket),
 }
 
 /// Reliable authenticated point-to-point links, as assumed by the paper's
@@ -128,6 +144,36 @@ pub trait Transport<M: SimMessage>: Send + 'static {
         }
         out
     }
+
+    /// [`recv_batch`](Transport::recv_batch) with the verify stage spliced
+    /// in: each peer delivery in the batch is submitted to `pool` (its
+    /// signature checks start on worker threads immediately) and surfaces
+    /// as [`Staged::Pending`]; everything else is [`Staged::Ready`]. With
+    /// `pool = None` every event is `Ready` — the exact legacy path.
+    ///
+    /// The event loop redeems the batch **in order**, so the actor sees
+    /// the same sequence `recv_batch` produced while later deliveries'
+    /// verification overlaps with earlier deliveries' processing.
+    fn recv_batch_staged(
+        &mut self,
+        max: usize,
+        timeout: Option<Duration>,
+        pool: Option<&mut VerifyPool<M>>,
+    ) -> Vec<Staged<M>> {
+        let batch = self.recv_batch(max, timeout);
+        match pool {
+            None => batch.into_iter().map(Staged::Ready).collect(),
+            Some(pool) => batch
+                .into_iter()
+                .map(|polled| match polled {
+                    delivery @ (Polled::Delivered(..) | Polled::DeliveredBatch(..)) => {
+                        Staged::Pending(pool.submit(delivery))
+                    }
+                    other => Staged::Ready(other),
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Maps a drained [`Inbound`] queue entry to a [`Polled`] outcome — shared
@@ -196,7 +242,45 @@ pub struct ChannelTransport<M> {
     rx: Receiver<Inbound<M>>,
 }
 
+/// The detachable send half of a [`ChannelTransport`]: the same peer
+/// queues and authenticated sender id, cloneable and usable from any
+/// thread while the receive half lives elsewhere — what lets one process
+/// mesh carry several consensus groups (see [`crate::shard`]).
+#[derive(Clone)]
+pub struct ChannelSender<M> {
+    id: ProcessId,
+    peers: Vec<Sender<Inbound<M>>>,
+}
+
+impl<M: SimMessage> ChannelSender<M> {
+    /// Sends `msg` to `to` (drops silently if the peer is gone, matching
+    /// [`Transport::send`] semantics).
+    pub fn send(&self, to: ProcessId, msg: M) {
+        let _ = self.peers[to.index()].send(Inbound::Peer(self.id, msg));
+    }
+
+    /// Sends `msg` to every process, including this one.
+    pub fn broadcast(&self, msg: M) {
+        for to in ProcessId::all(self.peers.len()) {
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Number of processes in the mesh.
+    pub fn mesh_size(&self) -> usize {
+        self.peers.len()
+    }
+}
+
 impl<M: SimMessage> ChannelTransport<M> {
+    /// The detachable, cloneable send half of this transport.
+    pub fn sender(&self) -> ChannelSender<M> {
+        ChannelSender {
+            id: self.id,
+            peers: self.peers.clone(),
+        }
+    }
+
     /// Builds a fully connected mesh of `n` channel transports. Returns
     /// each node's transport paired with the control sender that feeds its
     /// queue (for injection and shutdown).

@@ -1,0 +1,287 @@
+//! The verify pool: speculative signature checking off the event loop.
+//!
+//! One replica thread doing MAC checks, certificate verification and apply
+//! in sequence is the serial bottleneck the v4 bench exposed. The
+//! [`VerifyPool`] takes the verification stage off that thread: inbound
+//! deliveries are **submitted** to a bounded worker pool right after
+//! `recv_batch`, each worker runs a protocol-supplied *preverify* function
+//! over the messages (a pure cache-warmer — see
+//! `fastbft_core::Preverifier`), and the event loop **waits** for tickets
+//! in submission order. The replica then processes each message exactly as
+//! before; its own signature checks become memo hits.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Determinism.** Tickets are waited on in the order they were issued,
+//!   so the actor observes the exact arrival order `recv_batch` produced,
+//!   no matter how the workers interleave. With `workers = 0` the pool
+//!   degenerates to a pass-through (no threads, no preverify call): the
+//!   bit-for-bit single-threaded datapath.
+//! * **Authority.** Workers never decide anything. A message that fails
+//!   preverification is handed to the actor unchanged and rejected by the
+//!   replica's own checks, exactly as without the pool.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fastbft_obs::MetricsHandle;
+use fastbft_sim::SimMessage;
+
+use crate::transport::Polled;
+
+/// The protocol-aware verification function a pool runs over each inbound
+/// message: a **pure cache-warmer** (it must not mutate protocol state or
+/// make decisions). Shared by all workers.
+pub type Preverify<M> = Arc<dyn Fn(&M) + Send + Sync>;
+
+/// A ticket for a submitted batch entry; redeem with [`VerifyPool::wait`].
+pub type Ticket = u64;
+
+/// A bounded pool of verify workers with a deterministic completion order
+/// (see the module docs).
+pub struct VerifyPool<M> {
+    /// Job feed to the workers; `None` in inline (0-worker) mode.
+    jobs: Option<Sender<(Ticket, Polled<M>)>>,
+    completions: Receiver<(Ticket, Polled<M>)>,
+    /// Completions that arrived ahead of the ticket currently waited on.
+    done: BTreeMap<Ticket, Polled<M>>,
+    next_ticket: Ticket,
+    /// Tickets submitted and not yet redeemed (drives the depth gauge).
+    outstanding: u64,
+    workers: Vec<JoinHandle<()>>,
+    metrics: MetricsHandle,
+}
+
+impl<M: SimMessage> VerifyPool<M> {
+    /// A pool of `workers` threads running `pre` over submitted messages.
+    /// `workers = 0` builds the inline pass-through: no threads are
+    /// spawned and `pre` is never called.
+    pub fn new(workers: usize, pre: Preverify<M>) -> Self {
+        VerifyPool::with_metrics(workers, pre, MetricsHandle::none())
+    }
+
+    /// [`VerifyPool::new`] recording offload/inline counters and the queue
+    /// depth gauge into `metrics`.
+    pub fn with_metrics(workers: usize, pre: Preverify<M>, metrics: MetricsHandle) -> Self {
+        let (done_tx, completions) = unbounded();
+        let mut pool = VerifyPool {
+            jobs: None,
+            completions,
+            done: BTreeMap::new(),
+            next_ticket: 0,
+            outstanding: 0,
+            workers: Vec::new(),
+            metrics,
+        };
+        if workers > 0 {
+            let (jobs_tx, jobs_rx) = unbounded::<(Ticket, Polled<M>)>();
+            for _ in 0..workers {
+                let jobs = jobs_rx.clone();
+                let done = done_tx.clone();
+                let pre = Arc::clone(&pre);
+                pool.workers.push(std::thread::spawn(move || {
+                    while let Ok((ticket, polled)) = jobs.recv() {
+                        match &polled {
+                            Polled::Delivered(_, msg) => pre(msg),
+                            Polled::DeliveredBatch(_, msgs) => {
+                                for msg in msgs {
+                                    pre(msg);
+                                }
+                            }
+                            _ => {}
+                        }
+                        // The receiver may already be gone during teardown.
+                        if done.send((ticket, polled)).is_err() {
+                            break;
+                        }
+                    }
+                }));
+            }
+            pool.jobs = Some(jobs_tx);
+        }
+        pool
+    }
+
+    /// Number of worker threads (0 = inline pass-through).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one inbound event for verification, returning the ticket to
+    /// redeem with [`wait`](VerifyPool::wait). Tickets are issued in
+    /// submission order; redeeming them in that order reproduces the
+    /// arrival order exactly.
+    pub fn submit(&mut self, polled: Polled<M>) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.outstanding += 1;
+        if let Some(m) = self.metrics.get() {
+            let msgs = match &polled {
+                Polled::Delivered(..) => 1,
+                Polled::DeliveredBatch(_, msgs) => msgs.len() as u64,
+                _ => 0,
+            };
+            if self.jobs.is_some() {
+                m.verify_offload_total.add(msgs);
+            } else {
+                m.verify_inline_total.add(msgs);
+            }
+            m.verify_queue_depth.set(self.outstanding);
+        }
+        match &self.jobs {
+            Some(jobs) => {
+                let _ = jobs.send((ticket, polled));
+            }
+            // Inline mode: straight to the done map, untouched.
+            None => {
+                self.done.insert(ticket, polled);
+            }
+        }
+        ticket
+    }
+
+    /// Redeems `ticket`, blocking until its verification completed.
+    /// Completions arriving out of order are buffered, so waiting in
+    /// ticket order is deterministic regardless of worker interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workers died with the ticket unresolved (a worker
+    /// never panics by contract — `pre` is total) or the ticket was never
+    /// issued.
+    pub fn wait(&mut self, ticket: Ticket) -> Polled<M> {
+        loop {
+            if let Some(polled) = self.done.remove(&ticket) {
+                self.outstanding -= 1;
+                if let Some(m) = self.metrics.get() {
+                    m.verify_queue_depth.set(self.outstanding);
+                }
+                return polled;
+            }
+            let (t, polled) = self
+                .completions
+                .recv()
+                .expect("verify workers alive while tickets are outstanding");
+            self.done.insert(t, polled);
+        }
+    }
+}
+
+impl<M> Drop for VerifyPool<M> {
+    fn drop(&mut self) {
+        // Closing the job feed stops the workers; join so no worker
+        // outlives the transport whose messages it is verifying.
+        self.jobs = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for VerifyPool<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifyPool")
+            .field("workers", &self.workers.len())
+            .field("outstanding", &self.outstanding)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbft_types::ProcessId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Ping(u32);
+    impl SimMessage for Ping {
+        fn kind(&self) -> &'static str {
+            "ping"
+        }
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    fn delivered(i: u32) -> Polled<Ping> {
+        Polled::Delivered(ProcessId(1), Ping(i))
+    }
+
+    #[test]
+    fn inline_mode_is_a_pass_through() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let mut pool = VerifyPool::new(
+            0,
+            Arc::new(move |_: &Ping| {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        assert_eq!(pool.workers(), 0);
+        let t0 = pool.submit(delivered(0));
+        let t1 = pool.submit(delivered(1));
+        assert!(matches!(pool.wait(t0), Polled::Delivered(_, Ping(0))));
+        assert!(matches!(pool.wait(t1), Polled::Delivered(_, Ping(1))));
+        // Inline mode never runs the preverifier: bit-for-bit the old path.
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn workers_run_preverify_and_order_is_preserved() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let mut pool = VerifyPool::new(
+            3,
+            Arc::new(move |p: &Ping| {
+                // Uneven per-message delay scrambles completion order.
+                std::thread::sleep(std::time::Duration::from_micros(((p.0 * 7919) % 97) as u64));
+                seen.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        let tickets: Vec<Ticket> = (0..32).map(|i| pool.submit(delivered(i))).collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            match pool.wait(t) {
+                Polled::Delivered(_, Ping(got)) => assert_eq!(got, i as u32),
+                other => panic!("unexpected completion: {other:?}"),
+            }
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn batches_and_controls_flow_through() {
+        let mut pool = VerifyPool::new(2, Arc::new(|_: &Ping| {}));
+        let t0 = pool.submit(Polled::DeliveredBatch(ProcessId(2), vec![Ping(1), Ping(2)]));
+        let t1 = pool.submit(Polled::Shutdown);
+        match pool.wait(t0) {
+            Polled::DeliveredBatch(from, msgs) => {
+                assert_eq!(from, ProcessId(2));
+                assert_eq!(msgs, vec![Ping(1), Ping(2)]);
+            }
+            other => panic!("unexpected completion: {other:?}"),
+        }
+        assert!(matches!(pool.wait(t1), Polled::Shutdown));
+    }
+
+    #[test]
+    fn metrics_count_offload_and_depth() {
+        let metrics = MetricsHandle::standalone();
+        let mut pool = VerifyPool::with_metrics(1, Arc::new(|_: &Ping| {}), metrics.clone());
+        let t0 = pool.submit(delivered(0));
+        let t1 = pool.submit(Polled::DeliveredBatch(ProcessId(1), vec![Ping(1), Ping(2)]));
+        let m = metrics.get().unwrap();
+        assert_eq!(m.verify_offload_total.get(), 3);
+        assert_eq!(m.verify_queue_depth.get(), 2);
+        pool.wait(t0);
+        pool.wait(t1);
+        assert_eq!(m.verify_queue_depth.get(), 0);
+
+        let mut inline = VerifyPool::with_metrics(0, Arc::new(|_: &Ping| {}), metrics.clone());
+        let t = inline.submit(delivered(9));
+        inline.wait(t);
+        assert_eq!(m.verify_inline_total.get(), 1);
+    }
+}

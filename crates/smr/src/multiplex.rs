@@ -326,6 +326,19 @@ pub fn checkpoint_signature(keys: &KeyPair, upto: u64, digest: &Digest) -> Signa
     keys.sign_parts(&[SNAPSHOT_DOMAIN, &upto.to_be_bytes(), digest])
 }
 
+/// Whether `sig` is a valid checkpoint attestation over `(upto, digest)`
+/// — the verify twin of [`checkpoint_signature`], exposed so verify
+/// pools can warm the directory's memo with exactly the check the node
+/// will re-run.
+pub fn checkpoint_signature_valid(
+    dir: &KeyDirectory,
+    upto: u64,
+    digest: &Digest,
+    sig: &Signature,
+) -> bool {
+    dir.verify_parts(&[SNAPSHOT_DOMAIN, &upto.to_be_bytes(), digest], sig)
+}
+
 /// Whether a [`SlotMessage::SnapshotResponse`] carries f+1 valid checkpoint
 /// signatures from distinct processes over `payload`'s digest — the
 /// quorum-authentication a recovering node demands before installing (f+1
@@ -416,6 +429,9 @@ pub struct SmrNode<S: StateMachine> {
     idle_input: Value,
     /// Commands bundled into one consensus value per slot.
     batch_size: usize,
+    /// Constant added to every slot's leader rotation (see
+    /// [`with_leader_stagger`](SmrNode::with_leader_stagger)). Default 0.
+    leader_stagger: u64,
     /// How many consecutive slots may run concurrently while commands are
     /// queued (1 = strictly sequential). Deeper pipelines amortize wakeups
     /// and let the transport's writer threads coalesce frames from several
@@ -511,6 +527,7 @@ impl<S: StateMachine> SmrNode<S> {
             pending: commands.into_iter().collect(),
             idle_input,
             batch_size: 1,
+            leader_stagger: 0,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             slots: BTreeMap::new(),
             decided: BTreeMap::new(),
@@ -554,6 +571,20 @@ impl<S: StateMachine> SmrNode<S> {
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         assert!(batch_size >= 1, "batch size must be at least 1");
         self.batch_size = batch_size;
+        self
+    }
+
+    /// Adds a constant offset to every slot's leader rotation: slot `s`
+    /// starts under the leader that slot `s + stagger` would normally get.
+    /// A sharded deployment gives group `g` stagger `g`, so at any moment
+    /// the shards' current leaders sit on *different* processes — leader
+    /// work spreads across the cluster instead of piling onto one node.
+    /// Within a group this is just a relabeling of the rotation; safety
+    /// and liveness are untouched. Default 0. All nodes of a group must
+    /// use the same stagger.
+    #[must_use]
+    pub fn with_leader_stagger(mut self, stagger: u64) -> Self {
+        self.leader_stagger = stagger;
         self
     }
 
@@ -718,7 +749,8 @@ impl<S: StateMachine> SmrNode<S> {
         // Rotate first-leadership across slots so every process's commands
         // get committed without waiting for a view change (fairness).
         let mut replica = Replica::with_options(
-            self.cfg.with_leader_offset(slot),
+            self.cfg
+                .with_leader_offset(slot.wrapping_add(self.leader_stagger)),
             self.keys.clone(),
             self.dir.clone(),
             input,

@@ -1,0 +1,156 @@
+//! Key-range sharding: the map from client keys to consensus groups.
+//!
+//! A sharded deployment runs `m` independent consensus groups over one
+//! process mesh; each group owns a contiguous range of the key space and
+//! orders only the commands whose keys fall in its range. [`ShardMap`] is
+//! the pure, deterministic partition every layer shares: clients use it to
+//! route submissions, replicas use it to assert a committed command
+//! belongs to the group that committed it, and the metrics plane uses it
+//! to label per-group series.
+//!
+//! The partition is **by leading key byte**: shard `s` owns the keys whose
+//! first byte lies in `range_of(s)`. Contiguous byte ranges (rather than a
+//! hash) keep the map trivially enumerable and make range scans within one
+//! shard stay on one group. The empty key belongs to shard 0.
+
+use std::fmt;
+
+/// Maximum number of shards a [`ShardMap`] supports (one per possible
+/// leading key byte).
+pub const MAX_SHARDS: usize = 256;
+
+/// A deterministic partition of the key space into `m` contiguous
+/// first-byte ranges, one per consensus group.
+///
+/// ```
+/// use fastbft_types::ShardMap;
+///
+/// let map = ShardMap::new(4);
+/// assert_eq!(map.shards(), 4);
+/// assert_eq!(map.shard_of(b"apple"), 1);   // b'a' = 0x61 -> shard 1
+/// assert_eq!(map.shard_of(b"zebra"), 1);   // b'z' = 0x7a -> shard 1
+/// assert_eq!(map.shard_of(&[0xff]), 3);
+/// let (lo, hi) = map.range_of(1);
+/// assert!((lo..=hi).contains(&b'a'));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// A partition into `shards` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= shards <= MAX_SHARDS`.
+    pub fn new(shards: usize) -> Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&shards),
+            "shard count must be in 1..={MAX_SHARDS}"
+        );
+        ShardMap { shards }
+    }
+
+    /// Number of shards (consensus groups) in the partition.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`, by its leading byte (`0` for the empty
+    /// key). Always `< shards()`.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        let lead = key.first().copied().unwrap_or(0) as usize;
+        lead * self.shards / 256
+    }
+
+    /// The inclusive leading-byte range `(lo, hi)` owned by `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards()`.
+    pub fn range_of(&self, shard: usize) -> (u8, u8) {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        // The smallest lead byte b with b * shards / 256 == shard is
+        // ceil(shard * 256 / shards); the range ends where the next shard
+        // begins.
+        let lo = (shard * 256).div_ceil(self.shards);
+        let hi = ((shard + 1) * 256).div_ceil(self.shards) - 1;
+        (lo as u8, hi.min(255) as u8)
+    }
+}
+
+impl fmt::Display for ShardMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShardMap({} shards)", self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let map = ShardMap::new(1);
+        for b in 0..=255u8 {
+            assert_eq!(map.shard_of(&[b]), 0);
+        }
+        assert_eq!(map.range_of(0), (0, 255));
+    }
+
+    #[test]
+    fn shard_of_is_total_and_in_range() {
+        for shards in [1, 2, 3, 4, 5, 7, 16, 255, 256] {
+            let map = ShardMap::new(shards);
+            for b in 0..=255u8 {
+                assert!(map.shard_of(&[b]) < shards, "{shards} shards, byte {b}");
+            }
+            assert_eq!(map.shard_of(b""), 0);
+        }
+    }
+
+    #[test]
+    fn ranges_tile_the_byte_space() {
+        // The per-shard ranges are contiguous, non-overlapping, cover
+        // 0..=255, and agree with shard_of — the partition is exact.
+        for shards in [1, 2, 3, 4, 6, 10, 100, 256] {
+            let map = ShardMap::new(shards);
+            let mut next = 0usize;
+            for s in 0..shards {
+                let (lo, hi) = map.range_of(s);
+                assert_eq!(lo as usize, next, "{shards} shards: gap before {s}");
+                assert!(lo <= hi, "{shards} shards: empty range {s}");
+                for b in lo..=hi {
+                    assert_eq!(map.shard_of(&[b]), s, "{shards} shards, byte {b}");
+                }
+                next = hi as usize + 1;
+            }
+            assert_eq!(next, 256, "{shards} shards: space not covered");
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced_within_one() {
+        // Contiguous ranges of 256 bytes over m shards differ by at most
+        // one byte in width.
+        for shards in [2, 3, 4, 5, 7, 9, 64] {
+            let map = ShardMap::new(shards);
+            let widths: Vec<usize> = (0..shards)
+                .map(|s| {
+                    let (lo, hi) = map.range_of(s);
+                    hi as usize - lo as usize + 1
+                })
+                .collect();
+            let min = widths.iter().min().unwrap();
+            let max = widths.iter().max().unwrap();
+            assert!(max - min <= 1, "{shards} shards: widths {widths:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count")]
+    fn zero_shards_rejected() {
+        ShardMap::new(0);
+    }
+}
