@@ -65,6 +65,16 @@ pub struct ReplicaOptions {
     /// [`default_verify_workers`](ReplicaOptions::default_verify_workers)
     /// — cores − 1, which is 0 on a single-core host.
     pub verify_workers: usize,
+    /// Whether the SMR layer executes decided commands on a dedicated
+    /// apply worker thread instead of inline on the event loop. Like
+    /// [`verify_workers`](ReplicaOptions::verify_workers) this is a
+    /// *runtime* knob riding here so it threads through every construction
+    /// path: the per-slot replica never touches it. `0` (the default, and
+    /// the value every simulator path uses) keeps apply inline —
+    /// bit-for-bit the single-threaded datapath; any non-zero value runs
+    /// **one** dedicated in-order apply worker (apply is sequential by
+    /// definition, so more threads could not help).
+    pub apply_workers: usize,
 }
 
 impl Default for ReplicaOptions {
@@ -76,6 +86,7 @@ impl Default for ReplicaOptions {
             metrics: MetricsHandle::none(),
             cert_cache_capacity: crate::certs::DEFAULT_CERT_CACHE_CAPACITY,
             verify_workers: Self::default_verify_workers(),
+            apply_workers: 0,
         }
     }
 }

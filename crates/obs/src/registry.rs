@@ -40,6 +40,14 @@ pub struct Metrics {
     pub sig_memo_miss_total: Counter,
     // smr: the slot multiplexer.
     pub dedup_dropped_total: Counter,
+    pub batch_flush_size_total: Counter,
+    pub batch_flush_bytes_total: Counter,
+    pub batch_flush_quiescence_total: Counter,
+    pub batch_flush_timeout_total: Counter,
+    pub ingress_shed_total: Counter,
+    pub ingress_shed_bytes_total: Counter,
+    pub apply_offload_total: Counter,
+    pub apply_queue_depth: Gauge,
     // runtime: the inbound verify/decode pool.
     pub verify_offload_total: Counter,
     pub verify_inline_total: Counter,
@@ -72,7 +80,7 @@ impl Metrics {
     }
 
     /// `(name, help, counter)` for every counter, in exposition order.
-    fn counters(&self) -> [(&'static str, &'static str, &Counter); 17] {
+    fn counters(&self) -> [(&'static str, &'static str, &Counter); 23] {
         [
             (
                 "commit_fast_total",
@@ -113,6 +121,36 @@ impl Metrics {
                 "dedup_dropped_total",
                 "Committed commands skipped by identity dedup (at-most-once).",
                 &self.dedup_dropped_total,
+            ),
+            (
+                "batch_flush_size_total",
+                "Proposal batches flushed because the adaptive target was reached.",
+                &self.batch_flush_size_total,
+            ),
+            (
+                "batch_flush_bytes_total",
+                "Proposal batches flushed at the max_batch_bytes cap.",
+                &self.batch_flush_bytes_total,
+            ),
+            (
+                "batch_flush_quiescence_total",
+                "Proposal batches flushed because the pipeline was idle.",
+                &self.batch_flush_quiescence_total,
+            ),
+            (
+                "batch_flush_timeout_total",
+                "Proposal batches flushed by the flush-age backstop.",
+                &self.batch_flush_timeout_total,
+            ),
+            (
+                "ingress_shed_total",
+                "Client commands shed at ingress by the pending-queue budget.",
+                &self.ingress_shed_total,
+            ),
+            (
+                "apply_offload_total",
+                "Decided commands handed to the off-loop apply worker.",
+                &self.apply_offload_total,
             ),
             (
                 "verify_offload_total",
@@ -164,8 +202,13 @@ impl Metrics {
 
     /// `(name, help, counter)` for byte counters (split out so the text
     /// renderer can group all counters; bytes are still counters).
-    fn byte_counters(&self) -> [(&'static str, &'static str, &Counter); 3] {
+    fn byte_counters(&self) -> [(&'static str, &'static str, &Counter); 4] {
         [
+            (
+                "ingress_shed_bytes_total",
+                "Command bytes shed at ingress by the pending-queue budget.",
+                &self.ingress_shed_bytes_total,
+            ),
             (
                 "bytes_out_total",
                 "Wire bytes written, including frame headers and MACs.",
@@ -185,12 +228,17 @@ impl Metrics {
     }
 
     /// `(name, help, gauge)` for every gauge.
-    fn gauges(&self) -> [(&'static str, &'static str, &Gauge); 3] {
+    fn gauges(&self) -> [(&'static str, &'static str, &Gauge); 4] {
         [
             (
                 "stash_depth",
                 "Future-slot messages currently stashed (bounded).",
                 &self.stash_depth,
+            ),
+            (
+                "apply_queue_depth",
+                "Command batches queued to the apply worker and not yet executed.",
+                &self.apply_queue_depth,
             ),
             (
                 "verify_queue_depth",
@@ -566,6 +614,38 @@ mod tests {
             assert!(series.contains("{replica=\"p"), "unlabeled series: {line}");
             assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
         }
+    }
+
+    #[test]
+    fn propose_pipeline_exposition_shape() {
+        // The PR-9 propose-pipeline instruments: flush-reason counters,
+        // ingress shed counters (count + bytes) and the apply-queue depth
+        // gauge must all surface in both exporters.
+        let reg = MetricsRegistry::new(1);
+        let m = reg.metrics(0);
+        m.batch_flush_size_total.add(4);
+        m.batch_flush_quiescence_total.inc();
+        m.batch_flush_timeout_total.inc();
+        m.ingress_shed_total.add(7);
+        m.ingress_shed_bytes_total.add(7 * 64);
+        m.apply_offload_total.add(12);
+        m.apply_queue_depth.set(3);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE fastbft_batch_flush_size_total counter"));
+        assert!(text.contains("fastbft_batch_flush_size_total{replica=\"p1\"} 4"));
+        assert!(text.contains("fastbft_batch_flush_quiescence_total{replica=\"p1\"} 1"));
+        assert!(text.contains("fastbft_batch_flush_bytes_total{replica=\"p1\"} 0"));
+        assert!(text.contains("fastbft_batch_flush_timeout_total{replica=\"p1\"} 1"));
+        assert!(text.contains("fastbft_ingress_shed_total{replica=\"p1\"} 7"));
+        assert!(text.contains("fastbft_ingress_shed_bytes_total{replica=\"p1\"} 448"));
+        assert!(text.contains("fastbft_apply_offload_total{replica=\"p1\"} 12"));
+        assert!(text.contains("# TYPE fastbft_apply_queue_depth gauge"));
+        assert!(text.contains("fastbft_apply_queue_depth{replica=\"p1\"} 3"));
+        let json = reg.render_json();
+        assert!(json.contains("\"ingress_shed_total\":7"));
+        assert!(json.contains("\"ingress_shed_bytes_total\":448"));
+        assert!(json.contains("\"apply_queue_depth\":3"));
+        assert!(json.contains("\"batch_flush_size_total\":4"));
     }
 
     #[test]

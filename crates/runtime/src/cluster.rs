@@ -321,6 +321,9 @@ fn run_node<M: SimMessage>(
             }
         }
     }
+    // Let the actor flush and join any helper threads (e.g. the SMR apply
+    // worker) before the seat's state is handed back for inspection.
+    actor.on_shutdown();
     actor
 }
 

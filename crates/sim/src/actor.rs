@@ -49,6 +49,13 @@ pub trait Actor<M: SimMessage> {
     /// default ignores the command.
     fn on_client(&mut self, _command: Value, _fx: &mut Effects<M>) {}
 
+    /// Invoked once when the actor's event loop stops (runtime shutdown or
+    /// a single-seat stop) — the place to flush and join any helper
+    /// threads the actor owns, so post-run state inspection observes the
+    /// final state. The simulator never calls this (simulated actors own
+    /// no threads); the default is a no-op.
+    fn on_shutdown(&mut self) {}
+
     /// Optional human-readable label used in traces.
     fn label(&self) -> &'static str {
         "actor"

@@ -1,0 +1,341 @@
+//! The off-loop apply stage: state-machine execution on a dedicated
+//! worker thread.
+//!
+//! PR 8 took inbound *verification* off the event loop; profiling the
+//! staged loop shows the next serial stage is **apply** — state-machine
+//! execution and snapshot serialization run on the protocol thread, so a
+//! slow `StateMachine::apply` (or a large `snapshot()`) stalls consensus
+//! for every in-flight slot. The [`ApplyWorker`] moves that work to one
+//! dedicated thread, mirroring the `VerifyPool` contract:
+//!
+//! * **In order.** Jobs are executed strictly in submission order over a
+//!   bounded queue, so the worker's machine passes through exactly the
+//!   same state sequence the inline path would. The node keeps all
+//!   *bookkeeping* (dedup, log, applied events) synchronous — only the
+//!   machine itself lives off-loop, which is why the applied-event stream
+//!   and the log are bit-for-bit identical either way.
+//! * **Bounded.** The job queue holds at most [`APPLY_QUEUE_CAP`]
+//!   entries; a submitter that outruns the worker blocks (backpressure),
+//!   so a slow state machine cannot buffer unbounded decided batches.
+//! * **`apply_workers = 0` is the old path.** The node then owns the
+//!   machine directly ([`ApplyStage::Inline`]) and no thread exists —
+//!   bit-for-bit the pre-PR-9 datapath, exactly like `VerifyPool` with 0
+//!   workers.
+//!
+//! Snapshots at checkpoint boundaries become **asynchronous**: the node
+//! truncates its bookkeeping synchronously, enqueues a
+//! [`ApplyJob::Snapshot`] marker (ordered after every batch the snapshot
+//! covers), and assembles + broadcasts the attested checkpoint when the
+//! worker's [`ApplyReply::Snapshot`] comes back. Restores (rare:
+//! far-behind recovery) stay synchronous — the node blocks on the
+//! [`ApplyReply::Restore`] so install keeps its atomic reject semantics.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fastbft_obs::MetricsHandle;
+use fastbft_types::Value;
+
+use crate::machine::StateMachine;
+
+/// Most jobs the bounded apply queue will hold; submitting past this
+/// blocks the event loop until the worker catches up (backpressure).
+pub(crate) const APPLY_QUEUE_CAP: usize = 256;
+
+/// One unit of work for the apply worker, executed strictly in order.
+#[derive(Debug)]
+pub(crate) enum ApplyJob {
+    /// Execute one decided slot's commands (idle filler included — it is
+    /// part of the deterministic machine history).
+    Batch(Vec<Value>),
+    /// Serialize the machine at a checkpoint boundary; replies with
+    /// [`ApplyReply::Snapshot`] carrying the same `upto` for pairing.
+    Snapshot(u64),
+    /// Restore the machine from snapshot bytes; replies with
+    /// [`ApplyReply::Restore`].
+    Restore(Vec<u8>),
+}
+
+/// A worker-to-node reply (snapshot bytes or a restore verdict). Batches
+/// produce no reply — the node's bookkeeping never waits for them.
+#[derive(Debug)]
+pub(crate) enum ApplyReply {
+    /// `StateMachine::snapshot()` bytes taken at boundary `upto`.
+    Snapshot {
+        /// The checkpoint boundary the marker was enqueued at.
+        upto: u64,
+        /// The serialized machine.
+        machine: Vec<u8>,
+    },
+    /// Whether `StateMachine::restore` accepted the payload.
+    Restore(bool),
+}
+
+/// A hand-rolled bounded MPSC queue (the workspace's vendored channel
+/// shim is unbounded-only): `Mutex<VecDeque>` + two condvars.
+struct BoundedQueue<T> {
+    state: Mutex<(VecDeque<T>, bool)>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Items pushed
+    /// after [`close`](BoundedQueue::close) are dropped (teardown only —
+    /// the owning node never submits past its own join).
+    fn push(&self, item: T) {
+        let mut guard = self.state.lock().expect("apply queue poisoned");
+        while guard.0.len() >= self.cap && !guard.1 {
+            guard = self.not_full.wait(guard).expect("apply queue poisoned");
+        }
+        if guard.1 {
+            return;
+        }
+        guard.0.push_back(item);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty; `None`
+    /// once the queue is closed *and* drained.
+    fn pop(&self) -> Option<T> {
+        let mut guard = self.state.lock().expect("apply queue poisoned");
+        loop {
+            if let Some(item) = guard.0.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.not_empty.wait(guard).expect("apply queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pops drain the remainder then return `None`.
+    fn close(&self) {
+        let mut guard = self.state.lock().expect("apply queue poisoned");
+        guard.1 = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// The dedicated in-order apply worker owning the node's state machine
+/// while the event loop runs (see module docs).
+pub(crate) struct ApplyWorker<S> {
+    jobs: Arc<BoundedQueue<ApplyJob>>,
+    replies: Receiver<ApplyReply>,
+    /// Jobs submitted and not yet executed; mirrored into the
+    /// `apply_queue_depth` gauge from both ends.
+    depth: Arc<AtomicU64>,
+    handle: Option<JoinHandle<S>>,
+}
+
+impl<S: StateMachine + Send + 'static> ApplyWorker<S> {
+    /// Moves `machine` onto a fresh worker thread. The worker executes
+    /// jobs in submission order until the queue closes, then hands the
+    /// machine back through [`join`](ApplyWorker::join).
+    pub(crate) fn spawn(mut machine: S, metrics: MetricsHandle) -> Self {
+        let jobs = Arc::new(BoundedQueue::new(APPLY_QUEUE_CAP));
+        let (reply_tx, replies): (Sender<ApplyReply>, Receiver<ApplyReply>) = unbounded();
+        let depth = Arc::new(AtomicU64::new(0));
+        let worker_jobs = Arc::clone(&jobs);
+        let worker_depth = Arc::clone(&depth);
+        let handle = std::thread::spawn(move || {
+            while let Some(job) = worker_jobs.pop() {
+                match job {
+                    ApplyJob::Batch(cmds) => {
+                        for cmd in &cmds {
+                            machine.apply(cmd);
+                        }
+                    }
+                    ApplyJob::Snapshot(upto) => {
+                        // The node may already be gone during teardown.
+                        let _ = reply_tx.send(ApplyReply::Snapshot {
+                            upto,
+                            machine: machine.snapshot(),
+                        });
+                    }
+                    ApplyJob::Restore(bytes) => {
+                        let _ = reply_tx.send(ApplyReply::Restore(machine.restore(&bytes)));
+                    }
+                }
+                let left = worker_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                if let Some(m) = metrics.get() {
+                    m.apply_queue_depth.set(left);
+                }
+            }
+            machine
+        });
+        ApplyWorker {
+            jobs,
+            replies,
+            depth,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl<S> ApplyWorker<S> {
+    /// Submits one job, blocking if the bounded queue is full. Returns
+    /// the queue depth after the submit (for the gauge).
+    pub(crate) fn submit(&self, job: ApplyJob) -> u64 {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.jobs.push(job);
+        depth
+    }
+
+    /// A reply if one is ready (never blocks).
+    pub(crate) fn try_reply(&self) -> Option<ApplyReply> {
+        self.replies.try_recv()
+    }
+
+    /// Blocks until the next reply (restore path only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker died with replies outstanding (it never
+    /// panics by contract — `StateMachine` methods are total).
+    pub(crate) fn wait_reply(&self) -> ApplyReply {
+        self.replies
+            .recv()
+            .expect("apply worker alive while replies are outstanding")
+    }
+
+    /// Closes the queue, joins the worker, and hands back the machine
+    /// plus any replies (snapshot bytes) still in flight — the worker
+    /// drains every queued job before exiting, so the machine has
+    /// executed everything submitted.
+    pub(crate) fn join(mut self) -> (S, Vec<ApplyReply>) {
+        self.jobs.close();
+        let machine = self
+            .handle
+            .take()
+            .expect("join is the only consumer of the worker handle")
+            .join()
+            .expect("apply worker never panics");
+        let mut leftover = Vec::new();
+        while let Some(reply) = self.replies.try_recv() {
+            leftover.push(reply);
+        }
+        (machine, leftover)
+    }
+}
+
+impl<S> Drop for ApplyWorker<S> {
+    fn drop(&mut self) {
+        // A worker dropped without `join` (node dropped mid-run) must not
+        // outlive the machine's owner: close and join here too.
+        self.jobs.close();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for ApplyWorker<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApplyWorker")
+            .field("depth", &self.depth.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Who owns the node's state machine: the node itself (inline apply, the
+/// default and the simulator's only mode) or a dedicated worker thread.
+#[derive(Debug)]
+pub(crate) enum ApplyStage<S> {
+    /// The node applies on the event loop — the pre-PR-9 datapath.
+    Inline(S),
+    /// Execution is offloaded to an [`ApplyWorker`].
+    Offloop(ApplyWorker<S>),
+    /// Transient placeholder while the stage is being swapped; never
+    /// observable outside `SmrNode`'s own reconfiguration.
+    Swapping,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::CountingMachine;
+
+    #[test]
+    fn worker_applies_in_order_and_returns_machine() {
+        let worker = ApplyWorker::spawn(CountingMachine::new(), MetricsHandle::none());
+        for i in 0..10u64 {
+            worker.submit(ApplyJob::Batch(vec![Value::from_u64(i)]));
+        }
+        let (machine, leftover) = worker.join();
+        assert_eq!(machine.applied(), 10, "every batch executed before join");
+        assert!(leftover.is_empty(), "batches produce no replies");
+    }
+
+    #[test]
+    fn snapshot_marker_serializes_post_batch_state() {
+        // Inline reference: apply 3 commands, snapshot.
+        let mut reference = CountingMachine::new();
+        for i in 0..3u64 {
+            reference.apply(&Value::from_u64(i));
+        }
+        let expected = reference.snapshot();
+
+        let worker = ApplyWorker::spawn(CountingMachine::new(), MetricsHandle::none());
+        worker.submit(ApplyJob::Batch(
+            (0..3u64).map(Value::from_u64).collect::<Vec<_>>(),
+        ));
+        worker.submit(ApplyJob::Snapshot(3));
+        match worker.wait_reply() {
+            ApplyReply::Snapshot { upto, machine } => {
+                assert_eq!(upto, 3);
+                assert_eq!(machine, expected, "snapshot ordered after the batch");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        let (machine, _) = worker.join();
+        assert_eq!(machine.applied(), 3);
+    }
+
+    #[test]
+    fn restore_round_trips_and_rejects_garbage() {
+        let mut donor = CountingMachine::new();
+        donor.apply(&Value::from_u64(7));
+        let snap = donor.snapshot();
+
+        let worker = ApplyWorker::spawn(CountingMachine::new(), MetricsHandle::none());
+        worker.submit(ApplyJob::Restore(snap));
+        assert!(matches!(worker.wait_reply(), ApplyReply::Restore(true)));
+        worker.submit(ApplyJob::Restore(vec![0xFF; 3]));
+        assert!(matches!(worker.wait_reply(), ApplyReply::Restore(false)));
+        let (machine, _) = worker.join();
+        assert_eq!(machine.applied(), 1, "failed restore left state intact");
+    }
+
+    #[test]
+    fn depth_gauge_tracks_outstanding_jobs() {
+        let metrics = MetricsHandle::standalone();
+        let worker = ApplyWorker::spawn(CountingMachine::new(), metrics.clone());
+        for i in 0..5u64 {
+            worker.submit(ApplyJob::Batch(vec![Value::from_u64(i)]));
+        }
+        let (machine, _) = worker.join();
+        assert_eq!(machine.applied(), 5);
+        assert_eq!(
+            metrics.get().unwrap().apply_queue_depth.get(),
+            0,
+            "depth gauge returns to zero once the worker drains"
+        );
+    }
+}

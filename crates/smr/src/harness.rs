@@ -6,7 +6,7 @@ use fastbft_sim::{Network, SimDuration, SimTime, Simulation};
 use fastbft_types::{Config, ProcessId, Value};
 
 use crate::machine::StateMachine;
-use crate::multiplex::{SlotMessage, SmrNode};
+use crate::multiplex::{Batching, SlotMessage, SmrNode};
 
 /// Outcome of an SMR run.
 #[derive(Clone, Debug)]
@@ -71,7 +71,7 @@ pub struct SmrSimCluster<S: StateMachine + 'static> {
     _marker: std::marker::PhantomData<S>,
 }
 
-impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
+impl<S: StateMachine + Clone + Send + 'static> SmrSimCluster<S> {
     /// Builds a cluster. `commands[i]` is process `i+1`'s client queue
     /// (slot leaders drain their own queues; followers' queues commit when
     /// they lead a view).
@@ -173,17 +173,35 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
         network: Network,
         snapshot_interval: u64,
     ) -> Self {
-        Self::build(
+        Self::build_batching(
             cfg,
             seed,
             machine,
             commands,
             idle_input,
             opts,
-            batch_size,
+            Batching::Fixed(batch_size),
             None,
             Some(snapshot_interval),
             network,
+        )
+    }
+
+    /// Like [`SmrSimCluster::new_with_network`] but with an explicit
+    /// [`Batching`] mode — the entry point for adaptive-batching tests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_network_batching(
+        cfg: Config,
+        seed: u64,
+        machine: S,
+        commands: Vec<Vec<Value>>,
+        idle_input: Value,
+        opts: ReplicaOptions,
+        batching: Batching,
+        network: Network,
+    ) -> Self {
+        Self::build_batching(
+            cfg, seed, machine, commands, idle_input, opts, batching, None, None, network,
         )
     }
 
@@ -196,6 +214,33 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
         idle_input: Value,
         opts: ReplicaOptions,
         batch_size: usize,
+        pipeline_depth: Option<u64>,
+        snapshot_interval: Option<u64>,
+        network: Network,
+    ) -> Self {
+        Self::build_batching(
+            cfg,
+            seed,
+            machine,
+            commands,
+            idle_input,
+            opts,
+            Batching::Fixed(batch_size),
+            pipeline_depth,
+            snapshot_interval,
+            network,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_batching(
+        cfg: Config,
+        seed: u64,
+        machine: S,
+        commands: Vec<Vec<Value>>,
+        idle_input: Value,
+        opts: ReplicaOptions,
+        batching: Batching,
         pipeline_depth: Option<u64>,
         snapshot_interval: Option<u64>,
         network: Network,
@@ -214,7 +259,7 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
                 idle_input.clone(),
             )
             .with_options(opts.clone())
-            .with_batch_size(batch_size);
+            .with_batching(batching.clone());
             if let Some(depth) = pipeline_depth {
                 node = node.with_pipeline_depth(depth);
             }
@@ -253,6 +298,11 @@ impl<S: StateMachine + Clone + 'static> SmrSimCluster<S> {
             .expect("SmrNode opts into as_any")
             .downcast_ref::<SmrNode<S>>()
             .expect("actor is an SmrNode")
+    }
+
+    /// The cluster's protocol configuration.
+    pub fn config(&self) -> Config {
+        self.cfg
     }
 
     /// Reference to one node's state machine.

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod apply;
 pub mod harness;
 pub mod kv;
 pub mod machine;
@@ -49,9 +50,12 @@ pub use kv::{KvCommand, KvOutput, KvStore};
 pub use machine::{CountingMachine, StateMachine};
 pub use multiplex::{
     checkpoint_signature, checkpoint_signature_valid, parse_client_tag, snapshot_response_valid,
-    tag_command, SlotMessage, SmrNode, DEFAULT_SNAPSHOT_INTERVAL, MAX_STASH_AHEAD, SLOT_WINDOW,
+    tag_command, AdaptiveBatch, Batching, SlotMessage, SmrNode, DEFAULT_SNAPSHOT_INTERVAL,
+    MAX_STASH_AHEAD, SLOT_WINDOW,
 };
-pub use runtime::{as_smr_node, smr_actors, smr_actors_snapshotting, SmrClusterHandle};
+pub use runtime::{
+    as_smr_node, smr_actors, smr_actors_configured, smr_actors_snapshotting, SmrClusterHandle,
+};
 pub use shard::{
     kv_shard_of, kv_shard_router, slot_preverifier, with_verify_pools, ShardedKvHandle,
 };

@@ -25,6 +25,27 @@
 //!   work (pending or in-flight commands, or a peer demonstrably ahead);
 //!   an idle cluster stops proposing filler instead of burning CPU — a
 //!   client command (see [`Actor::on_client`]) restarts it.
+//! * **Adaptive proposal batching.** Under [`Batching::Adaptive`] the
+//!   number of commands drained into each proposal is a feedback-tuned
+//!   *target* rather than a constant: it doubles while drains leave a
+//!   backlog behind, halves when drains run far under target or commit
+//!   latency climbs well above its observed floor, and is bounded by
+//!   command-count and byte caps. A batch held back while the pipeline is
+//!   busy flushes the moment the pipeline quiesces or a flush-age backstop
+//!   timer fires — a lone command on an idle cluster never waits.
+//!   [`Batching::Fixed`] (what [`with_batch_size`](SmrNode::with_batch_size)
+//!   configures) preserves the constant-size behavior exactly.
+//! * **Off-loop apply.** With `ReplicaOptions::apply_workers > 0` the
+//!   state machine lives on a dedicated in-order apply worker: decided
+//!   batches are handed off instead of executed on the event loop, and
+//!   snapshot serialization happens off-loop too (the checkpoint is
+//!   assembled and broadcast when the worker's bytes come back). All
+//!   dedup/log bookkeeping stays synchronous, so applied events and logs
+//!   are bit-for-bit those of the inline path; `apply_workers = 0` (the
+//!   default) *is* the inline path.
+//! * **Ingress backpressure.** `on_client` enforces a bounded
+//!   pending-command budget (count and bytes); submissions past it are
+//!   shed and counted instead of growing the queue without limit.
 //! * **Catch-up.** Every `snapshot_interval` applied slots a node takes a
 //!   digest-attested snapshot of its machine + dedup state, truncates the
 //!   log and dedup generations below it, and broadcasts a signed
@@ -42,10 +63,11 @@ use std::time::Instant;
 use fastbft_core::message::Message;
 use fastbft_core::replica::{CommitPath, Replica, ReplicaOptions};
 use fastbft_crypto::{Digest, KeyDirectory, KeyPair, Signature};
-use fastbft_sim::{Actor, Effects, Outgoing, SimMessage, TimerId};
+use fastbft_sim::{Actor, Effects, Outgoing, SimDuration, SimMessage, TimerId};
 use fastbft_types::wire::{Decode, Encode, WireError, WireReader};
 use fastbft_types::{Config, ProcessId, Value};
 
+use crate::apply::{ApplyJob, ApplyReply, ApplyStage, ApplyWorker};
 use crate::machine::StateMachine;
 
 /// A frame of the replicated state machine: consensus traffic tagged with
@@ -311,9 +333,109 @@ const RECOVERY_GAP: u64 = SLOT_WINDOW / 2;
 /// gen`, so this value is unreachable by any realistic slot.
 const RECOVERY_TIMER: TimerId = TimerId(u64::MAX);
 
+/// Timer id reserved for draining apply-worker replies: armed when a
+/// checkpoint's snapshot bytes are being serialized off-loop, re-armed
+/// until the reply arrives. Like [`RECOVERY_TIMER`], unreachable by any
+/// realistic slot timer.
+const APPLY_TIMER: TimerId = TimerId(u64::MAX - 1);
+
+/// Timer id reserved for the adaptive batcher's flush-age backstop: a
+/// batch held back while the pipeline is busy flushes when it fires even
+/// if the pipeline never quiesces.
+const BATCH_FLUSH_TIMER: TimerId = TimerId(u64::MAX - 2);
+
 /// Timer namespace stride: slot id in the high bits, the replica's own
 /// timer generation in the low bits.
 const TIMER_STRIDE: u64 = 1 << 32;
+
+/// Default [`AdaptiveBatch::max_batch_cmds`].
+pub const DEFAULT_MAX_BATCH_CMDS: usize = 256;
+
+/// Default [`AdaptiveBatch::max_batch_bytes`]: 1 MiB.
+pub const DEFAULT_MAX_BATCH_BYTES: usize = 1 << 20;
+
+/// Default ingress budget in queued commands (see
+/// [`SmrNode::with_ingress_budget`]).
+pub const DEFAULT_INGRESS_MAX_CMDS: usize = 65_536;
+
+/// Default ingress budget in queued command bytes: 64 MiB.
+pub const DEFAULT_INGRESS_MAX_BYTES: usize = 64 << 20;
+
+/// Tuning knobs of the self-adjusting proposal batcher (see
+/// [`Batching::Adaptive`]). The *target* batch size is not configured —
+/// it starts at 1 and moves with feedback: it doubles while a drain
+/// leaves backlog behind (the pipeline is underbatching), halves when
+/// drains run far under target or the commit-latency EWMA climbs well
+/// above its observed floor (batches outgrew the cluster), and always
+/// stays within `1..=max_batch_cmds`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdaptiveBatch {
+    /// Hard cap on commands per proposal (and the ceiling the adaptive
+    /// target grows toward).
+    pub max_batch_cmds: usize,
+    /// Hard cap on the summed command bytes per proposal. A single
+    /// oversized command still ships alone — the cap bounds *batching*,
+    /// it cannot wedge the queue.
+    pub max_batch_bytes: usize,
+    /// How long a held batch may wait before the backstop timer forces a
+    /// flush (virtual time, like every protocol timer). Only reached
+    /// when the pipeline stays busy without ever quiescing.
+    pub flush_age: SimDuration,
+}
+
+impl Default for AdaptiveBatch {
+    fn default() -> Self {
+        AdaptiveBatch {
+            max_batch_cmds: DEFAULT_MAX_BATCH_CMDS,
+            max_batch_bytes: DEFAULT_MAX_BATCH_BYTES,
+            flush_age: SimDuration::DELTA,
+        }
+    }
+}
+
+/// How queued client commands are grouped into slot proposals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Batching {
+    /// Every proposal drains up to this constant many queued commands —
+    /// the pre-adaptive behavior, kept as the escape hatch for hand-tuned
+    /// deployments ([`SmrNode::with_batch_size`] configures this).
+    Fixed(usize),
+    /// Feedback-tuned batch sizes: lone commands flush immediately on an
+    /// idle pipeline, backlogs grow the batch target toward the caps (see
+    /// [`AdaptiveBatch`]).
+    Adaptive(AdaptiveBatch),
+}
+
+impl Default for Batching {
+    fn default() -> Self {
+        Batching::Fixed(1)
+    }
+}
+
+/// Why a proposal batch was flushed — the adaptive batcher's metrics
+/// breakdown (fixed-size batching always flushes for `Size`).
+#[derive(Clone, Copy, Debug)]
+enum FlushReason {
+    /// The drain reached the (fixed or adaptive) command-count target.
+    Size,
+    /// The byte cap bound the drain below its command-count target.
+    Bytes,
+    /// The pipeline was idle, so everything queued flushed at once.
+    Quiescence,
+    /// The flush-age backstop fired for a held batch.
+    Timeout,
+}
+
+/// Bookkeeping captured synchronously at a checkpoint boundary while the
+/// machine's snapshot bytes are serialized off-loop; married to the
+/// [`ApplyReply::Snapshot`] bytes to assemble the canonical payload.
+struct PendingCheckpoint {
+    upto: u64,
+    log_offset: u64,
+    client_commands: u64,
+    dedup: Vec<Digest>,
+    clients: Vec<ClientEntry>,
+}
 
 /// Domain-separation prefix for checkpoint attestations (keeps snapshot
 /// signatures from colliding with consensus statements).
@@ -407,6 +529,28 @@ fastbft_types::impl_wire_struct!(SnapshotPayload {
     clients
 });
 
+/// Encodes the canonical snapshot payload from its constituents. Free of
+/// `SmrNode` so the off-loop path can assemble it from a captured
+/// [`PendingCheckpoint`] plus the worker's machine bytes — producing the
+/// exact bytes the inline path would.
+fn encode_snapshot_payload(
+    upto: u64,
+    log_offset: u64,
+    client_commands: u64,
+    machine: Vec<u8>,
+    dedup: Vec<Digest>,
+    clients: Vec<ClientEntry>,
+) -> Vec<u8> {
+    fastbft_types::wire::to_bytes(&SnapshotPayload {
+        upto,
+        log_offset,
+        client_commands,
+        machine,
+        dedup,
+        clients,
+    })
+}
+
 /// The latest local snapshot, with the attestations gathered for it.
 struct NodeSnapshot {
     upto: u64,
@@ -422,13 +566,40 @@ pub struct SmrNode<S: StateMachine> {
     keys: KeyPair,
     dir: KeyDirectory,
     opts: ReplicaOptions,
-    machine: S,
+    /// Where the state machine lives: inline on the event loop (default)
+    /// or on a dedicated apply worker (`opts.apply_workers > 0`).
+    stage: ApplyStage<S>,
     /// Commands this node wants committed, in submission order.
     pending: VecDeque<Value>,
+    /// Summed command bytes across `pending` (ingress budget accounting).
+    pending_bytes: usize,
     /// Proposed-when-idle filler command.
     idle_input: Value,
-    /// Commands bundled into one consensus value per slot.
-    batch_size: usize,
+    /// How queued commands are grouped into slot proposals.
+    batching: Batching,
+    /// The adaptive batcher's current per-proposal command target
+    /// (ignored under [`Batching::Fixed`]).
+    batch_target: usize,
+    /// Whether a [`BATCH_FLUSH_TIMER`] is outstanding for held commands.
+    flush_armed: bool,
+    /// Set when the flush-age backstop fired with commands still queued:
+    /// the next drain opportunity flushes regardless of the target.
+    flush_due: bool,
+    /// Ingress budget: queued client commands past this count are shed.
+    ingress_max_cmds: usize,
+    /// Ingress budget: queued client-command bytes past this are shed.
+    ingress_max_bytes: usize,
+    /// EWMA of observed commit latency in µs (adaptive batching only).
+    commit_ewma_us: f64,
+    /// Lowest observed commit latency in µs (adaptive batching only) —
+    /// the congestion reference the EWMA is compared against.
+    commit_floor_us: f64,
+    /// Commands executed this `advance` iteration, awaiting hand-off to
+    /// the apply worker (off-loop mode only; always empty inline).
+    exec_buf: Vec<Value>,
+    /// Checkpoints whose machine bytes are still being serialized
+    /// off-loop, oldest first (off-loop mode only).
+    pending_checkpoints: VecDeque<PendingCheckpoint>,
     /// Constant added to every slot's leader rotation (see
     /// [`with_leader_stagger`](SmrNode::with_leader_stagger)). Default 0.
     leader_stagger: u64,
@@ -518,15 +689,27 @@ impl<S: StateMachine> SmrNode<S> {
         commands: impl IntoIterator<Item = Value>,
         idle_input: Value,
     ) -> Self {
+        let pending: VecDeque<Value> = commands.into_iter().collect();
+        let pending_bytes = pending.iter().map(|c| c.as_bytes().len()).sum();
         SmrNode {
             cfg,
             keys,
             dir,
             opts: ReplicaOptions::default(),
-            machine,
-            pending: commands.into_iter().collect(),
+            stage: ApplyStage::Inline(machine),
+            pending,
+            pending_bytes,
             idle_input,
-            batch_size: 1,
+            batching: Batching::Fixed(1),
+            batch_target: 1,
+            flush_armed: false,
+            flush_due: false,
+            ingress_max_cmds: DEFAULT_INGRESS_MAX_CMDS,
+            ingress_max_bytes: DEFAULT_INGRESS_MAX_BYTES,
+            commit_ewma_us: 0.0,
+            commit_floor_us: 0.0,
+            exec_buf: Vec::new(),
+            pending_checkpoints: VecDeque::new(),
             leader_stagger: 0,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             slots: BTreeMap::new(),
@@ -554,23 +737,60 @@ impl<S: StateMachine> SmrNode<S> {
         }
     }
 
-    /// Overrides the per-slot replica options.
-    #[must_use]
-    pub fn with_options(mut self, opts: ReplicaOptions) -> Self {
-        self.opts = opts;
-        self
-    }
-
     /// Bundles up to `batch_size` queued commands into each slot's proposal
     /// (amortizing the two message delays over many commands). Default 1.
+    /// This configures [`Batching::Fixed`] — the escape hatch when a
+    /// deployment wants a hand-tuned constant instead of
+    /// [`Batching::Adaptive`] feedback.
     ///
     /// # Panics
     ///
     /// Panics if `batch_size` is 0.
     #[must_use]
-    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+    pub fn with_batch_size(self, batch_size: usize) -> Self {
         assert!(batch_size >= 1, "batch size must be at least 1");
-        self.batch_size = batch_size;
+        self.with_batching(Batching::Fixed(batch_size))
+    }
+
+    /// Configures how queued commands are grouped into proposals. Default
+    /// `Batching::Fixed(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fixed size or an adaptive cap is 0.
+    #[must_use]
+    pub fn with_batching(mut self, batching: Batching) -> Self {
+        match &batching {
+            Batching::Fixed(size) => {
+                assert!(*size >= 1, "batch size must be at least 1");
+            }
+            Batching::Adaptive(a) => {
+                assert!(a.max_batch_cmds >= 1, "max_batch_cmds must be at least 1");
+                assert!(a.max_batch_bytes >= 1, "max_batch_bytes must be at least 1");
+            }
+        }
+        self.batch_target = 1;
+        self.batching = batching;
+        self
+    }
+
+    /// Bounds the pending-command queue `on_client` may grow: submissions
+    /// past either limit are shed (and counted in the `ingress_shed`
+    /// metrics) instead of queued. Defaults
+    /// [`DEFAULT_INGRESS_MAX_CMDS`] / [`DEFAULT_INGRESS_MAX_BYTES`].
+    /// Commands re-queued internally (an in-flight batch whose slot
+    /// decided another proposal) are exempt — backpressure never drops
+    /// accepted work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is 0.
+    #[must_use]
+    pub fn with_ingress_budget(mut self, max_cmds: usize, max_bytes: usize) -> Self {
+        assert!(max_cmds >= 1, "ingress command budget must be at least 1");
+        assert!(max_bytes >= 1, "ingress byte budget must be at least 1");
+        self.ingress_max_cmds = max_cmds;
+        self.ingress_max_bytes = max_bytes;
         self
     }
 
@@ -657,8 +877,13 @@ impl<S: StateMachine> SmrNode<S> {
     }
 
     /// Digest of the machine state (cross-replica equality assertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics while the machine is owned by a live apply worker — inspect
+    /// after shutdown (the runtime joins the worker in `on_shutdown`).
     pub fn state_digest(&self) -> Digest {
-        self.machine.state_digest()
+        self.machine_ref().state_digest()
     }
 
     /// Committed-suffix entries currently retained for serving backfill
@@ -668,8 +893,40 @@ impl<S: StateMachine> SmrNode<S> {
     }
 
     /// The state machine (for assertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics while the machine is owned by a live apply worker — inspect
+    /// after shutdown (the runtime joins the worker in `on_shutdown`).
     pub fn machine(&self) -> &S {
-        &self.machine
+        self.machine_ref()
+    }
+
+    fn machine_ref(&self) -> &S {
+        match &self.stage {
+            ApplyStage::Inline(machine) => machine,
+            ApplyStage::Offloop(_) => panic!(
+                "state machine is owned by the apply worker; inspect it after \
+                 shutdown (the runtime joins the worker back inline in `on_shutdown`)"
+            ),
+            ApplyStage::Swapping => unreachable!("transient apply-stage placeholder"),
+        }
+    }
+
+    /// The adaptive batcher's current per-proposal command target (always
+    /// the configured constant under [`Batching::Fixed`]; for tests and
+    /// monitoring).
+    pub fn batch_target(&self) -> usize {
+        match &self.batching {
+            Batching::Fixed(size) => *size,
+            Batching::Adaptive(_) => self.batch_target,
+        }
+    }
+
+    /// Summed bytes of the commands queued at ingress (budget accounting;
+    /// for tests and monitoring).
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
     }
 
     /// Commands still waiting to be committed (queued or in flight).
@@ -688,23 +945,120 @@ impl<S: StateMachine> SmrNode<S> {
         self.slots.len()
     }
 
-    /// The slot proposal: a batch of up to `batch_size` queued commands
-    /// (or the idle filler), encoded as one consensus value. Drained
-    /// commands move to the slot's in-flight set so a pipelined slot can
-    /// never re-propose them; they are re-queued at apply time if the slot
-    /// decides something else.
+    /// How many commands the next proposal should drain, and why — `None`
+    /// to propose nothing (empty queue, or an adaptive batcher holding a
+    /// sub-target batch while the pipeline is busy). Pure: the planned
+    /// drain happens in [`input_for_slot`](Self::input_for_slot).
+    fn plan_drain(&self) -> Option<(usize, FlushReason)> {
+        let len = self.pending.len();
+        if len == 0 {
+            return None;
+        }
+        match &self.batching {
+            Batching::Fixed(size) => Some(((*size).min(len), FlushReason::Size)),
+            Batching::Adaptive(a) => {
+                // Quiescent = nothing in flight anywhere: a held batch (and
+                // a lone command) flushes immediately rather than waiting
+                // out a timer. Evaluated before the new slot is inserted
+                // (`open_slot` computes the input first), so "no open
+                // slots" really means idle.
+                let quiescent =
+                    self.slots.is_empty() && self.decided.is_empty() && self.in_flight.is_empty();
+                let (cap, mut reason) = if quiescent {
+                    (a.max_batch_cmds, FlushReason::Quiescence)
+                } else if len >= self.batch_target {
+                    (self.batch_target, FlushReason::Size)
+                } else if self.flush_due {
+                    (a.max_batch_cmds, FlushReason::Timeout)
+                } else {
+                    return None;
+                };
+                let mut take = 0usize;
+                let mut bytes = 0usize;
+                for cmd in self.pending.iter().take(cap.min(len)) {
+                    let size = cmd.as_bytes().len();
+                    // The first command always ships, however large.
+                    if take > 0 && bytes + size > a.max_batch_bytes {
+                        reason = FlushReason::Bytes;
+                        break;
+                    }
+                    bytes += size;
+                    take += 1;
+                }
+                Some((take, reason))
+            }
+        }
+    }
+
+    /// Nudges the adaptive batch target after a drain of `take` commands
+    /// (no-op for fixed batching).
+    fn tune_batch_target(&mut self, take: usize) {
+        let Batching::Adaptive(a) = &self.batching else {
+            return;
+        };
+        let mut target = self.batch_target;
+        if !self.pending.is_empty() {
+            // The drain left backlog behind: underbatching — grow. This
+            // branch overrides the latency guard below: with a queue
+            // building, bigger batches mean *fewer* slots in flight for
+            // the same commands, so growing is what relieves slot
+            // pressure — shrinking here would open more slots and feed
+            // the very congestion the guard reacts to.
+            target = (target * 2).min(a.max_batch_cmds);
+        } else {
+            if take * 4 <= target {
+                // Drains run far under target: shrink back toward latency.
+                target = (target / 2).max(1);
+            }
+            // Congestion guard: commit latency far above its observed
+            // floor with no backlog queued means the batches (or the
+            // pipeline) outgrew the cluster.
+            if self.commit_floor_us > 0.0
+                && self.commit_ewma_us > 4.0 * self.commit_floor_us
+                && self.commit_ewma_us > 1_000.0
+            {
+                target = (target / 2).max(1);
+            }
+        }
+        self.batch_target = target;
+    }
+
+    /// Whether the node should open a slot to propose queued commands
+    /// right now (an adaptive batcher may prefer to hold them).
+    fn wants_proposal(&self) -> bool {
+        self.plan_drain().is_some()
+    }
+
+    /// The slot proposal: a planned batch of queued commands (or the idle
+    /// filler), encoded as one consensus value. Drained commands move to
+    /// the slot's in-flight set so a pipelined slot can never re-propose
+    /// them; they are re-queued at apply time if the slot decides
+    /// something else.
     fn input_for_slot(&mut self, slot: u64) -> Value {
         let mut cmds: Vec<Value> = Vec::new();
         // The cursor advances only on a real drain: an idle proposal for an
         // out-of-order (e.g. adversarially sprayed in-window) slot must not
         // bar nearer slots from proposing queued commands.
-        if slot >= self.propose_cursor && !self.pending.is_empty() {
-            let take = self.batch_size.min(self.pending.len());
-            cmds.extend(self.pending.drain(..take));
-            self.propose_cursor = slot + 1;
-            self.in_flight.insert(slot, cmds.clone());
-            if let Some(m) = self.opts.metrics.get() {
-                m.batch_size.record(take as u64);
+        if slot >= self.propose_cursor {
+            if let Some((take, reason)) = self.plan_drain() {
+                for _ in 0..take {
+                    let cmd = self.pending.pop_front().expect("plan bounds take by len");
+                    self.pending_bytes -= cmd.as_bytes().len();
+                    cmds.push(cmd);
+                }
+                self.flush_due = false;
+                self.propose_cursor = slot + 1;
+                self.in_flight.insert(slot, cmds.clone());
+                if let Some(m) = self.opts.metrics.get() {
+                    m.batch_size.record(take as u64);
+                    match reason {
+                        FlushReason::Size => m.batch_flush_size_total.inc(),
+                        FlushReason::Bytes => m.batch_flush_bytes_total.inc(),
+                        FlushReason::Quiescence => m.batch_flush_quiescence_total.inc(),
+                        FlushReason::Timeout => m.batch_flush_timeout_total.inc(),
+                    }
+                }
+                self.tune_batch_target(take);
             }
         }
         if cmds.is_empty() {
@@ -722,12 +1076,12 @@ impl<S: StateMachine> SmrNode<S> {
             .unwrap_or_else(|_| vec![value.clone()])
     }
 
-    /// Opens further slots, up to the pipeline depth, while commands are
-    /// queued — each drains its own proposal batch. Slots a peer already
-    /// opened reactively (with an idle proposal from us) are skipped; the
-    /// queued commands go into the next free slot.
+    /// Opens further slots, up to the pipeline depth, while the batcher
+    /// wants to propose — each drains its own proposal batch. Slots a peer
+    /// already opened reactively (with an idle proposal from us) are
+    /// skipped; the queued commands go into the next free slot.
     fn fill_pipeline(&mut self, fx: &mut Effects<SlotMessage>) {
-        while !self.pending.is_empty() {
+        while self.wants_proposal() {
             let slot = self.propose_cursor.max(self.applied);
             if slot >= self.applied + self.pipeline_depth {
                 break;
@@ -759,7 +1113,10 @@ impl<S: StateMachine> SmrNode<S> {
         let mut inner = Effects::new(fx.id(), fx.n(), fx.now());
         replica.on_start(&mut inner);
         self.slots.insert(slot, replica);
-        if self.opts.metrics.is_enabled() {
+        // The open timestamp feeds the latency histograms *and* the
+        // adaptive batcher's congestion signal, so it is kept whenever
+        // either consumer exists.
+        if self.opts.metrics.is_enabled() || matches!(self.batching, Batching::Adaptive(_)) {
             self.slot_opened.insert(slot, Instant::now());
         }
         self.relay_inner(slot, inner, fx);
@@ -864,13 +1221,155 @@ impl<S: StateMachine> SmrNode<S> {
             }
             self.mark_applied(&cmd);
             if let Some(pos) = self.pending.iter().position(|p| *p == cmd) {
-                self.pending.remove(pos);
+                if let Some(removed) = self.pending.remove(pos) {
+                    self.pending_bytes -= removed.as_bytes().len();
+                }
             }
             self.client_commands += 1;
         }
-        self.machine.apply(&cmd);
+        match &mut self.stage {
+            ApplyStage::Inline(machine) => {
+                machine.apply(&cmd);
+            }
+            // Off-loop: buffer for one per-slot hand-off (see
+            // `flush_exec`); the bookkeeping below stays synchronous, so
+            // applied events and the log are identical either way.
+            ApplyStage::Offloop(_) => self.exec_buf.push(cmd.clone()),
+            ApplyStage::Swapping => unreachable!("transient apply-stage placeholder"),
+        }
         fx.record_applied(self.log_offset + self.log.len() as u64, &cmd);
         self.log.push(cmd);
+    }
+
+    /// Hands the commands executed for the current slot to the apply
+    /// worker as one in-order batch job (no-op inline, where `exec_buf`
+    /// is never filled).
+    fn flush_exec(&mut self) {
+        if self.exec_buf.is_empty() {
+            return;
+        }
+        let batch = mem::take(&mut self.exec_buf);
+        if let ApplyStage::Offloop(worker) = &self.stage {
+            if let Some(m) = self.opts.metrics.get() {
+                m.apply_offload_total.add(batch.len() as u64);
+            }
+            let depth = worker.submit(ApplyJob::Batch(batch));
+            if let Some(m) = self.opts.metrics.get() {
+                m.apply_queue_depth.set(depth);
+            }
+        }
+    }
+
+    /// Pulls any ready apply-worker replies without blocking (checkpoint
+    /// bytes serialized off-loop); no-op inline.
+    fn drain_apply_replies(&mut self, fx: &mut Effects<SlotMessage>) {
+        loop {
+            let reply = match &self.stage {
+                ApplyStage::Offloop(worker) => match worker.try_reply() {
+                    Some(reply) => reply,
+                    None => return,
+                },
+                _ => return,
+            };
+            self.on_apply_reply(reply, fx);
+        }
+    }
+
+    /// Marries an off-loop snapshot reply to its captured bookkeeping and
+    /// finishes the checkpoint (assemble, sign, broadcast).
+    fn on_apply_reply(&mut self, reply: ApplyReply, fx: &mut Effects<SlotMessage>) {
+        match reply {
+            ApplyReply::Snapshot { upto, machine } => {
+                let Some(pos) = self.pending_checkpoints.iter().position(|p| p.upto == upto) else {
+                    return; // superseded (e.g. by an installed snapshot)
+                };
+                // The queue is ordered; everything before an answered
+                // marker is stale.
+                let capture = self
+                    .pending_checkpoints
+                    .drain(..=pos)
+                    .next_back()
+                    .expect("inclusive drain is non-empty");
+                let payload = encode_snapshot_payload(
+                    upto,
+                    capture.log_offset,
+                    capture.client_commands,
+                    machine,
+                    capture.dedup,
+                    capture.clients,
+                );
+                if let Some((digest, sig)) = self.adopt_checkpoint(upto, payload) {
+                    fx.broadcast(SlotMessage::Checkpoint { upto, digest, sig });
+                }
+            }
+            ApplyReply::Restore(_) => {
+                // Restore replies are consumed synchronously at the
+                // install site (`restore_machine`); none can arrive here.
+            }
+        }
+    }
+
+    /// Restores the state machine from snapshot bytes, wherever it lives.
+    /// Off-loop this blocks on the worker (install is rare and must keep
+    /// its atomic reject semantics); snapshot replies that surface while
+    /// waiting are processed, not dropped.
+    fn restore_machine(&mut self, bytes: &[u8], fx: &mut Effects<SlotMessage>) -> bool {
+        if let ApplyStage::Inline(machine) = &mut self.stage {
+            return machine.restore(bytes);
+        }
+        match &self.stage {
+            ApplyStage::Offloop(worker) => {
+                worker.submit(ApplyJob::Restore(bytes.to_vec()));
+            }
+            _ => unreachable!("transient apply-stage placeholder"),
+        }
+        loop {
+            let reply = match &self.stage {
+                ApplyStage::Offloop(worker) => worker.wait_reply(),
+                _ => unreachable!("the stage cannot change while blocked on restore"),
+            };
+            match reply {
+                ApplyReply::Restore(ok) => return ok,
+                snapshot_reply => self.on_apply_reply(snapshot_reply, fx),
+            }
+        }
+    }
+
+    /// Joins the apply worker (if any) back inline so post-run state
+    /// inspection sees the final machine. Checkpoints whose bytes were
+    /// still in flight are finished locally (there is no event loop left
+    /// to broadcast on). Called from `Actor::on_shutdown`.
+    fn finish_apply_stage(&mut self) {
+        if !matches!(self.stage, ApplyStage::Offloop(_)) {
+            return;
+        }
+        let ApplyStage::Offloop(worker) = mem::replace(&mut self.stage, ApplyStage::Swapping)
+        else {
+            unreachable!("just matched");
+        };
+        let (machine, leftover) = worker.join();
+        self.stage = ApplyStage::Inline(machine);
+        for reply in leftover {
+            if let ApplyReply::Snapshot { upto, machine } = reply {
+                let Some(pos) = self.pending_checkpoints.iter().position(|p| p.upto == upto) else {
+                    continue;
+                };
+                let capture = self
+                    .pending_checkpoints
+                    .drain(..=pos)
+                    .next_back()
+                    .expect("inclusive drain is non-empty");
+                let payload = encode_snapshot_payload(
+                    upto,
+                    capture.log_offset,
+                    capture.client_commands,
+                    machine,
+                    capture.dedup,
+                    capture.clients,
+                );
+                self.adopt_checkpoint(upto, payload);
+            }
+        }
     }
 
     fn on_slot_decided(&mut self, slot: u64, value: Value, fx: &mut Effects<SlotMessage>) {
@@ -880,14 +1379,28 @@ impl<S: StateMachine> SmrNode<S> {
         // Commit latency, split by the path the slot's own replica took.
         // Backfill-settled slots have no local replica (and took neither
         // path here), so they record nothing.
-        if let Some(m) = self.opts.metrics.get() {
-            let path = self.slots.get(&slot).and_then(|r| r.decided_path());
-            let opened = self.slot_opened.get(&slot);
-            if let (Some(path), Some(at)) = (path, opened) {
-                let us = u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX);
-                match path {
-                    CommitPath::Fast => m.commit_latency_fast_us.record(us),
-                    CommitPath::Slow => m.commit_latency_slow_us.record(us),
+        if let Some(at) = self.slot_opened.get(&slot) {
+            let us = u64::try_from(at.elapsed().as_micros()).unwrap_or(u64::MAX);
+            if matches!(self.batching, Batching::Adaptive(_)) {
+                // Feed the batcher's congestion signal (floor + EWMA).
+                let us = us as f64;
+                self.commit_floor_us = if self.commit_floor_us == 0.0 {
+                    us
+                } else {
+                    self.commit_floor_us.min(us)
+                };
+                self.commit_ewma_us = if self.commit_ewma_us == 0.0 {
+                    us
+                } else {
+                    0.8 * self.commit_ewma_us + 0.2 * us
+                };
+            }
+            if let Some(m) = self.opts.metrics.get() {
+                if let Some(path) = self.slots.get(&slot).and_then(|r| r.decided_path()) {
+                    match path {
+                        CommitPath::Fast => m.commit_latency_fast_us.record(us),
+                        CommitPath::Slow => m.commit_latency_slow_us.record(us),
+                    }
                 }
             }
         }
@@ -898,6 +1411,9 @@ impl<S: StateMachine> SmrNode<S> {
     /// Applies every now-contiguous decided slot in order, snapshots at
     /// interval boundaries, and keeps the pipeline and stash moving.
     fn advance(&mut self, fx: &mut Effects<SlotMessage>) {
+        // Opportunistic: finish any checkpoint whose off-loop snapshot
+        // bytes came back (cheap try_recv; no-op inline).
+        self.drain_apply_replies(fx);
         // Apply contiguous decided slots, one command at a time (a slot
         // carries a batch).
         while let Some(value) = self.decided.remove(&self.applied) {
@@ -905,6 +1421,10 @@ impl<S: StateMachine> SmrNode<S> {
             for cmd in Self::decode_batch(&value) {
                 self.apply_command(cmd, fx);
             }
+            // Off-loop: this slot's executed commands leave as one ordered
+            // batch job, before any snapshot marker the boundary below may
+            // enqueue.
+            self.flush_exec();
             self.committed_tail.insert(slot, value);
             // Commands this node drained into the slot that the decided
             // value did not commit (another proposal won, or an earlier
@@ -912,6 +1432,7 @@ impl<S: StateMachine> SmrNode<S> {
             if let Some(mine) = self.in_flight.remove(&slot) {
                 for cmd in mine.into_iter().rev() {
                     if !self.command_applied(&cmd) {
+                        self.pending_bytes += cmd.as_bytes().len();
                         self.pending.push_front(cmd);
                     }
                 }
@@ -929,8 +1450,11 @@ impl<S: StateMachine> SmrNode<S> {
             }
         }
         // Keep the pipeline going while there is work; quiesce when idle
-        // (a client submission re-opens the pipeline via `on_client`).
-        if !self.pending.is_empty() || !self.in_flight.is_empty() {
+        // (a client submission re-opens the pipeline via `on_client`). An
+        // adaptive batcher holding a sub-target batch counts as idle here —
+        // but if this advance drained the pipeline empty, `wants_proposal`
+        // sees the quiescence and flushes the held batch right now.
+        if self.wants_proposal() || !self.in_flight.is_empty() {
             self.open_slot(self.applied, fx);
         }
         self.fill_pipeline(fx);
@@ -960,9 +1484,9 @@ impl<S: StateMachine> SmrNode<S> {
         }
     }
 
-    /// Builds the canonical snapshot payload for the current state (must be
-    /// called exactly at a slot boundary, right after dedup rotation).
-    fn build_payload(&self, upto: u64) -> Vec<u8> {
+    /// The sorted dedup constituents of a snapshot payload (must be taken
+    /// exactly at a slot boundary, right after dedup rotation).
+    fn dedup_parts(&self) -> (Vec<Digest>, Vec<ClientEntry>) {
         let mut dedup: Vec<Digest> = self
             .applied_cmds
             .iter()
@@ -980,19 +1504,15 @@ impl<S: StateMachine> SmrNode<S> {
             })
             .collect();
         clients.sort_unstable_by_key(|e| e.client);
-        fastbft_types::wire::to_bytes(&SnapshotPayload {
-            upto,
-            log_offset: self.log_offset,
-            client_commands: self.client_commands,
-            machine: self.machine.snapshot(),
-            dedup,
-            clients,
-        })
+        (dedup, clients)
     }
 
     /// Checkpoints at the current (interval-aligned) apply point: truncates
     /// log/tail/dedup state below it, stores the snapshot, and broadcasts a
-    /// signed attestation.
+    /// signed attestation. Off-loop the machine bytes are serialized by the
+    /// apply worker — the truncation and bookkeeping capture stay
+    /// synchronous here, and the checkpoint completes (same payload bytes,
+    /// hence same digest as inline) when the reply arrives.
     fn take_snapshot(&mut self, fx: &mut Effects<SlotMessage>) {
         let upto = self.applied;
         // Truncate everything the snapshot now covers.
@@ -1004,7 +1524,53 @@ impl<S: StateMachine> SmrNode<S> {
         // boundaries, so the reachable dedup set stays identical
         // cluster-wide (determinism).
         self.applied_cmds_old = mem::take(&mut self.applied_cmds);
-        let payload = self.build_payload(upto);
+        let (dedup, clients) = self.dedup_parts();
+        if matches!(self.stage, ApplyStage::Offloop(_)) {
+            // Capture the bookkeeping now; the worker's snapshot marker is
+            // ordered after every batch the boundary covers (flush_exec
+            // ran for slot `upto - 1` before this call).
+            self.pending_checkpoints.push_back(PendingCheckpoint {
+                upto,
+                log_offset: self.log_offset,
+                client_commands: self.client_commands,
+                dedup,
+                clients,
+            });
+            if let ApplyStage::Offloop(worker) = &self.stage {
+                let depth = worker.submit(ApplyJob::Snapshot(upto));
+                if let Some(m) = self.opts.metrics.get() {
+                    m.apply_queue_depth.set(depth);
+                }
+            }
+            fx.set_timer(SimDuration::DELTA, APPLY_TIMER);
+            return;
+        }
+        let machine = match &self.stage {
+            ApplyStage::Inline(machine) => machine.snapshot(),
+            _ => unreachable!("off-loop handled above"),
+        };
+        let payload = encode_snapshot_payload(
+            upto,
+            self.log_offset,
+            self.client_commands,
+            machine,
+            dedup,
+            clients,
+        );
+        if let Some((digest, sig)) = self.adopt_checkpoint(upto, payload) {
+            fx.broadcast(SlotMessage::Checkpoint { upto, digest, sig });
+        }
+    }
+
+    /// The second half of a checkpoint, once the payload bytes exist:
+    /// sign, merge parked attestations, store. Returns the digest and own
+    /// signature to broadcast, or `None` when an installed snapshot
+    /// already moved past `upto` (possible off-loop while bytes were in
+    /// flight; never inline).
+    fn adopt_checkpoint(&mut self, upto: u64, payload: Vec<u8>) -> Option<(Digest, Signature)> {
+        if self.snapshot.as_ref().is_some_and(|s| s.upto >= upto) {
+            return None;
+        }
         let digest = fastbft_crypto::digest(&payload);
         let sig = checkpoint_signature(&self.keys, upto, &digest);
         let mut sigs = BTreeMap::new();
@@ -1032,7 +1598,7 @@ impl<S: StateMachine> SmrNode<S> {
                 format!("p{} checkpointed upto={upto}", self.keys.id().0),
             );
         }
-        fx.broadcast(SlotMessage::Checkpoint { upto, digest, sig });
+        Some((digest, sig))
     }
 
     /// Handles a peer's checkpoint attestation: merged into the matching
@@ -1133,10 +1699,14 @@ impl<S: StateMachine> SmrNode<S> {
             return;
         }
         // Machine first: restore is atomic, so a machine-level rejection
-        // leaves this node fully unchanged.
-        if !self.machine.restore(&parsed.machine) {
+        // leaves this node fully unchanged (off-loop, the install blocks
+        // on the worker's verdict to keep exactly that contract).
+        if !self.restore_machine(&parsed.machine, fx) {
             return;
         }
+        // Checkpoints captured below the installed boundary are obsolete:
+        // the snapshot adopted below supersedes them.
+        self.pending_checkpoints.retain(|p| p.upto > upto);
         let digest = fastbft_crypto::digest(&payload);
         self.applied = upto;
         self.log.clear();
@@ -1164,6 +1734,7 @@ impl<S: StateMachine> SmrNode<S> {
         for (_, cmds) in mem::replace(&mut self.in_flight, keep) {
             for cmd in cmds.into_iter().rev() {
                 if !self.command_applied(&cmd) {
+                    self.pending_bytes += cmd.as_bytes().len();
                     self.pending.push_front(cmd);
                 }
             }
@@ -1333,6 +1904,26 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
             self.maybe_recover(fx);
             return;
         }
+        if timer == APPLY_TIMER {
+            // Off-loop checkpoint backstop: collect ready snapshot bytes,
+            // re-arm while any are still outstanding.
+            self.drain_apply_replies(fx);
+            if !self.pending_checkpoints.is_empty() {
+                fx.set_timer(SimDuration::DELTA, APPLY_TIMER);
+            }
+            return;
+        }
+        if timer == BATCH_FLUSH_TIMER {
+            // Flush-age backstop: commands held by the adaptive batcher
+            // flush now even though the target was never reached.
+            self.flush_armed = false;
+            if matches!(self.batching, Batching::Adaptive(_)) && !self.pending.is_empty() {
+                self.flush_due = true;
+                self.open_slot(self.applied, fx);
+                self.fill_pipeline(fx);
+            }
+            return;
+        }
         let slot = timer.0 / TIMER_STRIDE;
         let inner_timer = TimerId(timer.0 % TIMER_STRIDE);
         let Some(replica) = self.slots.get_mut(&slot) else {
@@ -1344,10 +1935,36 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
     }
 
     fn on_client(&mut self, command: Value, fx: &mut Effects<SlotMessage>) {
+        // Ingress backpressure: a bounded pending budget (count and
+        // bytes); past it the command is shed and counted, not queued.
+        let size = command.as_bytes().len();
+        if self.pending.len() >= self.ingress_max_cmds
+            || self.pending_bytes.saturating_add(size) > self.ingress_max_bytes
+        {
+            if let Some(m) = self.opts.metrics.get() {
+                m.ingress_shed_total.inc();
+                m.ingress_shed_bytes_total.add(size as u64);
+            }
+            return;
+        }
+        self.pending_bytes += size;
         self.pending.push_back(command);
-        // Wake the pipeline if it had quiesced; a no-op while it runs.
-        self.open_slot(self.applied, fx);
-        self.fill_pipeline(fx);
+        if self.wants_proposal() {
+            // Wake the pipeline if it had quiesced; a no-op while it runs.
+            self.open_slot(self.applied, fx);
+            self.fill_pipeline(fx);
+        } else if let Batching::Adaptive(a) = &self.batching {
+            // Held for batching: arm the flush-age backstop so the
+            // command ships even if the pipeline never quiesces.
+            if !self.flush_armed {
+                self.flush_armed = true;
+                fx.set_timer(a.flush_age, BATCH_FLUSH_TIMER);
+            }
+        }
+    }
+
+    fn on_shutdown(&mut self) {
+        self.finish_apply_stage();
     }
 
     fn label(&self) -> &'static str {
@@ -1356,6 +1973,39 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+}
+
+impl<S: StateMachine + Send + 'static> SmrNode<S> {
+    /// Overrides the per-slot replica options. This is also where the
+    /// apply stage is (re)configured: `opts.apply_workers > 0` moves the
+    /// state machine onto a dedicated in-order apply worker, `0` keeps
+    /// (or joins it back) inline.
+    #[must_use]
+    pub fn with_options(mut self, opts: ReplicaOptions) -> Self {
+        self.opts = opts;
+        self.reconfigure_apply_stage();
+        self
+    }
+
+    /// Moves the machine to (or back from) a dedicated apply worker so
+    /// the stage matches `opts.apply_workers`.
+    fn reconfigure_apply_stage(&mut self) {
+        let want_offloop = self.opts.apply_workers > 0;
+        if want_offloop == matches!(self.stage, ApplyStage::Offloop(_)) {
+            return;
+        }
+        match mem::replace(&mut self.stage, ApplyStage::Swapping) {
+            ApplyStage::Inline(machine) => {
+                self.stage =
+                    ApplyStage::Offloop(ApplyWorker::spawn(machine, self.opts.metrics.clone()));
+            }
+            ApplyStage::Offloop(worker) => {
+                let (machine, _) = worker.join();
+                self.stage = ApplyStage::Inline(machine);
+            }
+            ApplyStage::Swapping => unreachable!("transient apply-stage placeholder"),
+        }
     }
 }
 

@@ -49,7 +49,7 @@ use fastbft_sim::Actor;
 use fastbft_types::{Config, ProcessId, Value};
 
 use crate::machine::StateMachine;
-use crate::multiplex::{SlotMessage, SmrNode};
+use crate::multiplex::{Batching, SlotMessage, SmrNode};
 
 /// Builds one boxed [`SmrNode`] actor per process, ready for
 /// [`fastbft_runtime::spawn`] / `spawn_with` (or `fastbft-net`'s TCP
@@ -87,28 +87,18 @@ pub fn smr_actors_snapshotting<S: StateMachine + Clone + Send + 'static>(
     batch_size: usize,
     snapshot_interval: Option<u64>,
 ) -> Vec<Box<dyn Actor<SlotMessage> + Send>> {
-    assert_eq!(pairs.len(), cfg.n(), "one key pair per process");
-    assert_eq!(commands.len(), cfg.n(), "one command queue per process");
-    pairs
-        .iter()
-        .zip(commands)
-        .map(|(pair, cmds)| -> Box<dyn Actor<SlotMessage> + Send> {
-            let mut node = SmrNode::new(
-                cfg,
-                pair.clone(),
-                dir.clone(),
-                machine.clone(),
-                cmds,
-                idle_input.clone(),
-            )
-            .with_options(opts.clone())
-            .with_batch_size(batch_size);
-            if let Some(interval) = snapshot_interval {
-                node = node.with_snapshot_interval(interval);
-            }
-            Box::new(node)
-        })
-        .collect()
+    smr_actors_configured(
+        cfg,
+        pairs,
+        dir,
+        machine,
+        commands,
+        idle_input,
+        opts,
+        Batching::Fixed(batch_size),
+        snapshot_interval,
+        None,
+    )
 }
 
 /// [`smr_actors_snapshotting`] with a metrics plane: node `i` (and every
@@ -129,11 +119,45 @@ pub fn smr_actors_metered<S: StateMachine + Clone + Send + 'static>(
     snapshot_interval: Option<u64>,
     registry: &fastbft_obs::MetricsRegistry,
 ) -> Vec<Box<dyn Actor<SlotMessage> + Send>> {
-    assert!(
-        registry.len() >= cfg.n(),
-        "metrics registry must cover all {} processes",
-        cfg.n()
-    );
+    smr_actors_configured(
+        cfg,
+        pairs,
+        dir,
+        machine,
+        commands,
+        idle_input,
+        opts,
+        Batching::Fixed(batch_size),
+        snapshot_interval,
+        Some(registry),
+    )
+}
+
+/// The fully-general [`SmrNode`] actor builder: any [`Batching`] mode (the
+/// other constructors fix it), an optional snapshot interval, an optional
+/// metrics plane. `opts.apply_workers > 0` additionally moves each node's
+/// state machine onto a dedicated apply worker (see
+/// [`SmrNode::with_options`]).
+#[allow(clippy::too_many_arguments)]
+pub fn smr_actors_configured<S: StateMachine + Clone + Send + 'static>(
+    cfg: Config,
+    pairs: &[KeyPair],
+    dir: &KeyDirectory,
+    machine: S,
+    commands: Vec<Vec<Value>>,
+    idle_input: Value,
+    opts: ReplicaOptions,
+    batching: Batching,
+    snapshot_interval: Option<u64>,
+    registry: Option<&fastbft_obs::MetricsRegistry>,
+) -> Vec<Box<dyn Actor<SlotMessage> + Send>> {
+    if let Some(registry) = registry {
+        assert!(
+            registry.len() >= cfg.n(),
+            "metrics registry must cover all {} processes",
+            cfg.n()
+        );
+    }
     assert_eq!(pairs.len(), cfg.n(), "one key pair per process");
     assert_eq!(commands.len(), cfg.n(), "one command queue per process");
     pairs
@@ -141,9 +165,12 @@ pub fn smr_actors_metered<S: StateMachine + Clone + Send + 'static>(
         .zip(commands)
         .enumerate()
         .map(|(i, (pair, cmds))| -> Box<dyn Actor<SlotMessage> + Send> {
-            let opts = ReplicaOptions {
-                metrics: registry.replica(i),
-                ..opts.clone()
+            let opts = match registry {
+                Some(registry) => ReplicaOptions {
+                    metrics: registry.replica(i),
+                    ..opts.clone()
+                },
+                None => opts.clone(),
             };
             let mut node = SmrNode::new(
                 cfg,
@@ -153,8 +180,8 @@ pub fn smr_actors_metered<S: StateMachine + Clone + Send + 'static>(
                 cmds,
                 idle_input.clone(),
             )
-            .with_options(opts)
-            .with_batch_size(batch_size);
+            .with_batching(batching.clone())
+            .with_options(opts);
             if let Some(interval) = snapshot_interval {
                 node = node.with_snapshot_interval(interval);
             }
@@ -224,6 +251,34 @@ impl SmrClusterHandle {
             idle_input.clone(),
             opts,
             batch_size,
+        );
+        SmrClusterHandle::new(spawn(actors, tick), cfg.n(), idle_input)
+    }
+
+    /// [`spawn_channel`](SmrClusterHandle::spawn_channel) with an explicit
+    /// [`Batching`] mode (e.g. [`Batching::Adaptive`]) instead of a fixed
+    /// batch size.
+    pub fn spawn_channel_configured<S: StateMachine + Clone + Send + 'static>(
+        cfg: Config,
+        seed: u64,
+        machine: S,
+        idle_input: Value,
+        opts: ReplicaOptions,
+        batching: Batching,
+        tick: Duration,
+    ) -> Self {
+        let (pairs, dir) = KeyDirectory::generate(cfg.n(), seed);
+        let actors = smr_actors_configured(
+            cfg,
+            &pairs,
+            &dir,
+            machine,
+            vec![Vec::new(); cfg.n()],
+            idle_input.clone(),
+            opts,
+            batching,
+            None,
+            None,
         );
         SmrClusterHandle::new(spawn(actors, tick), cfg.n(), idle_input)
     }

@@ -1,0 +1,114 @@
+//! Off-loop apply equivalence: `apply_workers = 1` (decided batches
+//! executed on a dedicated apply worker) must be observationally identical
+//! to `apply_workers = 0` (today's inline path) — same committed command
+//! set, same per-replica logs, same final machine state.
+//!
+//! Mirrors the verify-pool contract test (`verify_pool_cluster_matches
+//! _inline` in `sharded_kv.rs`): worker interleaving never reaches the
+//! protocol or the replicated state.
+
+use std::time::Duration;
+
+use fastbft_core::replica::ReplicaOptions;
+use fastbft_smr::runtime::{as_smr_node, SmrClusterHandle};
+use fastbft_smr::{AdaptiveBatch, Batching, KvCommand, KvStore};
+use fastbft_types::{Config, Value};
+
+const TICK: Duration = Duration::from_micros(50);
+const WAIT: Duration = Duration::from_secs(30);
+
+fn put(key: &str, value: &str) -> Value {
+    KvCommand::Put {
+        key: key.into(),
+        value: value.into(),
+    }
+    .to_value()
+}
+
+/// Runs the same adaptive-batched workload with and without the apply
+/// worker; both must commit everything, replicas within each run must
+/// apply the identical sequence, and the final stores must be
+/// byte-identical across the two runs.
+#[test]
+fn apply_worker_cluster_matches_inline() {
+    let cfg = Config::new(4, 1, 1).unwrap();
+    let idle = KvCommand::Noop.to_value();
+    let keys: Vec<String> = (0..12).map(|i| format!("key-{i}")).collect();
+    let mut digests = Vec::new();
+    for workers in [0usize, 1] {
+        let opts = ReplicaOptions {
+            apply_workers: workers,
+            ..ReplicaOptions::default()
+        };
+        let mut cluster = SmrClusterHandle::spawn_channel_configured(
+            cfg,
+            19,
+            KvStore::new(),
+            idle.clone(),
+            opts,
+            Batching::Adaptive(AdaptiveBatch::default()),
+            TICK,
+        );
+        for (i, key) in keys.iter().enumerate() {
+            cluster.submit(put(key, &format!("v{i}")));
+        }
+        assert!(
+            cluster.await_commands(cfg.processes(), keys.len() as u64, WAIT),
+            "workers={workers} commits"
+        );
+        assert!(cluster.logs_agree(), "workers={workers} agreement");
+        // Within the run, every replica applied the same client sequence.
+        let logs: Vec<Vec<Value>> = cluster
+            .logs()
+            .iter()
+            .map(|log| log.values().filter(|c| **c != idle).cloned().collect())
+            .collect();
+        for log in &logs {
+            assert_eq!(log.len(), keys.len(), "workers={workers} applied all");
+            assert_eq!(log, &logs[0], "replicas apply the same sequence");
+        }
+        // After shutdown the machine is back inline (the worker is joined
+        // and drained), so the final state is directly inspectable.
+        let actors = cluster.shutdown();
+        let mut run_digests = Vec::new();
+        for actor in &actors {
+            let node = as_smr_node::<KvStore>(actor.as_ref()).expect("KV node");
+            assert_eq!(node.machine().len(), keys.len());
+            run_digests.push(node.machine().state_digest());
+        }
+        assert!(
+            run_digests.windows(2).all(|w| w[0] == w[1]),
+            "workers={workers} replica state diverged"
+        );
+        digests.push(run_digests[0]);
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "off-loop apply changed the replicated state"
+    );
+}
+
+/// The `apply_workers = 0` escape hatch really is the inline path: no
+/// worker is spawned, and the machine stays inspectable mid-run (the
+/// off-loop accessor contract panics only when a worker owns the machine).
+#[test]
+fn zero_workers_keeps_machine_inline() {
+    let cfg = Config::new(4, 1, 1).unwrap();
+    let idle = KvCommand::Noop.to_value();
+    let mut cluster = SmrClusterHandle::spawn_channel_configured(
+        cfg,
+        23,
+        KvStore::new(),
+        idle.clone(),
+        ReplicaOptions::default(),
+        Batching::Fixed(1),
+        TICK,
+    );
+    cluster.submit(put("solo", "value"));
+    assert!(cluster.await_commands(cfg.processes(), 1, WAIT));
+    let actors = cluster.shutdown();
+    for actor in &actors {
+        let node = as_smr_node::<KvStore>(actor.as_ref()).expect("KV node");
+        assert_eq!(node.machine().get("solo"), Some(&"value".to_string()));
+    }
+}

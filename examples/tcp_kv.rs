@@ -27,8 +27,8 @@ use fastbft::crypto::KeyDirectory;
 use fastbft::net::{tcp_seats, tcp_seats_metered};
 use fastbft::obs::MetricsRegistry;
 use fastbft::runtime::spawn_with;
-use fastbft::smr::runtime::{as_smr_node, smr_actors, smr_actors_metered, SmrClusterHandle};
-use fastbft::smr::{KvCommand, KvStore};
+use fastbft::smr::runtime::{as_smr_node, smr_actors_configured, SmrClusterHandle};
+use fastbft::smr::{AdaptiveBatch, Batching, KvCommand, KvStore};
 use fastbft::types::Config;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,32 +38,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (pairs, dir) = KeyDirectory::generate(cfg.n(), 2027);
     let idle = KvCommand::Noop.to_value();
     let registry = metrics.then(|| MetricsRegistry::new(cfg.n()));
-    // Batch up to four commands per slot.
+    // Adaptive batching sizes each slot's batch from live feedback, and a
+    // dedicated apply worker executes decided batches off the event loop.
+    let opts = ReplicaOptions {
+        apply_workers: 1,
+        ..ReplicaOptions::default()
+    };
+    let actors = smr_actors_configured(
+        cfg,
+        &pairs,
+        &dir,
+        KvStore::new(),
+        vec![Vec::new(); cfg.n()],
+        idle.clone(),
+        opts,
+        Batching::Adaptive(AdaptiveBatch::default()),
+        None,
+        registry.as_ref(),
+    );
     let (seats, addrs) = if let Some(registry) = &registry {
-        let actors = smr_actors_metered(
-            cfg,
-            &pairs,
-            &dir,
-            KvStore::new(),
-            vec![Vec::new(); cfg.n()],
-            idle.clone(),
-            ReplicaOptions::default(),
-            4,
-            None,
-            registry,
-        );
         tcp_seats_metered(actors, pairs, dir, Default::default(), registry)?
     } else {
-        let actors = smr_actors(
-            cfg,
-            &pairs,
-            &dir,
-            KvStore::new(),
-            vec![Vec::new(); cfg.n()],
-            idle.clone(),
-            ReplicaOptions::default(),
-            4,
-        );
         tcp_seats(actors, pairs, dir, Default::default())?
     };
     let mut cluster =
