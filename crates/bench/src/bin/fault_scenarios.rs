@@ -1,0 +1,254 @@
+//! Graceful degradation under the chaos catalog, measured.
+//!
+//! Runs every named chaos scenario (`delay-the-leader`,
+//! `partition-the-fast-quorum`, `flapping-link`, `slow-follower`,
+//! `asymmetric-wan`) against live SMR clusters at `n = 4` (vanilla,
+//! `f = t = 1`) and `n = 7` (generalized, `f = 2, t = 1`) over the
+//! channel transport, through the same harness the chaos test suite uses
+//! ([`fastbft_smr::chaos::run_chaos`]) — so every reported number comes
+//! from a run that also *passed* the three degradation gates: safety
+//! (logs agree), liveness after heal (bounded recovery), and commit-path
+//! attribution (slow-path carries the window when the fast quorum is
+//! unreachable).
+//!
+//! Reported per scenario: fast/slow commit counts split by phase
+//! (before / during / after the fault window), the cluster-wide
+//! fast-path share, post-heal recovery time, and commit-latency
+//! percentiles — the fast-path-resilience story of the paper, under
+//! faults instead of clean runs.
+//!
+//! `--json` switches the output to a machine-readable JSON object
+//! (`BENCH_faults.json` is a committed snapshot of it):
+//!
+//! ```bash
+//! cargo run --release -p fastbft_bench --bin fault_scenarios -- --json
+//! ```
+
+use std::time::Duration;
+
+use fastbft_bench::{header, row};
+use fastbft_core::replica::ReplicaOptions;
+use fastbft_crypto::KeyDirectory;
+use fastbft_obs::MetricsRegistry;
+use fastbft_runtime::chaos::{chaos_seed_from_env, PathExpectation, Scenario};
+use fastbft_runtime::transport::ChannelTransport;
+use fastbft_runtime::{wrap_seats_metered, FaultPlan, NodeSeat};
+use fastbft_sim::SimDuration;
+use fastbft_smr::chaos::{run_chaos, ChaosLoad, ChaosReport};
+use fastbft_smr::runtime::smr_actors_metered;
+use fastbft_smr::CountingMachine;
+use fastbft_types::{Config, Value};
+
+const TICK: Duration = Duration::from_micros(50);
+/// The repo-wide default view-1 timeout, in ticks (8·Δ) — the floor the
+/// per-scenario derivation starts from.
+const FLOOR_TICKS: u64 = 800;
+/// Commit cadence hint the catalog scales its fault windows from.
+const COMMIT_MS: u64 = 25;
+
+fn idle() -> Value {
+    Value::from_u64(u64::MAX)
+}
+
+struct Outcome {
+    expectation: &'static str,
+    base_timeout_ticks: u64,
+    report: ChaosReport,
+}
+
+fn expectation_name(e: PathExpectation) -> &'static str {
+    match e {
+        PathExpectation::FastRecovers => "fast_recovers",
+        PathExpectation::SlowWhileFaulted => "slow_while_faulted",
+        PathExpectation::StallAllowed => "stall_allowed",
+    }
+}
+
+/// One scenario against one cluster size, through the chaos harness —
+/// identical construction to the channel chaos test suite.
+fn run(cfg: Config, key_seed: u64, scenario: Scenario) -> Outcome {
+    let n = cfg.n();
+    let (pairs, dir) = KeyDirectory::generate(n, key_seed);
+    let registry = MetricsRegistry::new(n);
+    let base_ticks = scenario.base_timeout_ticks(TICK, FLOOR_TICKS);
+    let expectation = expectation_name(scenario.expectation);
+    let opts = ReplicaOptions {
+        base_timeout: SimDuration(base_ticks),
+        ..ReplicaOptions::default()
+    };
+    let actors = smr_actors_metered(
+        cfg,
+        &pairs,
+        &dir,
+        CountingMachine::new(),
+        vec![Vec::new(); n],
+        idle(),
+        opts,
+        1,
+        None,
+        &registry,
+    );
+    let seats: Vec<NodeSeat<_, ChannelTransport<_>>> = actors
+        .into_iter()
+        .zip(ChannelTransport::mesh(n))
+        .map(|(actor, (transport, control))| NodeSeat {
+            actor,
+            transport,
+            control,
+            verify: None,
+        })
+        .collect();
+    let plan = FaultPlan::default();
+    let seats = wrap_seats_metered(seats, &plan, chaos_seed_from_env(42), &registry);
+    let base_timeout = Duration::from_nanos(TICK.as_nanos() as u64 * base_ticks);
+    let report = run_chaos(
+        seats,
+        cfg,
+        idle(),
+        registry,
+        plan,
+        scenario,
+        TICK,
+        base_timeout,
+        ChaosLoad::default(),
+    );
+    Outcome {
+        expectation,
+        base_timeout_ticks: base_ticks,
+        report,
+    }
+}
+
+fn json_outcome(o: &Outcome) -> String {
+    let r = &o.report;
+    format!(
+        "{{\"expectation\": \"{}\", \"base_timeout_ticks\": {}, \
+         \"fast\": {{\"before\": {}, \"during\": {}, \"after\": {}}}, \
+         \"slow\": {{\"before\": {}, \"during\": {}, \"after\": {}}}, \
+         \"fast_share\": {:.4}, \"recovered_ms\": {}, \
+         \"p50_us\": {}, \"p99_us\": {}, \
+         \"injected\": {{\"delays\": {}, \"drops\": {}, \"dups\": {}, \"partition_drops\": {}}}}}",
+        o.expectation,
+        o.base_timeout_ticks,
+        r.fast[0],
+        r.fast[1],
+        r.fast[2],
+        r.slow[0],
+        r.slow[1],
+        r.slow[2],
+        r.fast_share,
+        r.recovered_ms,
+        r.p50_us,
+        r.p99_us,
+        r.injected[0],
+        r.injected[1],
+        r.injected[2],
+        r.injected[3],
+    )
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let load = ChaosLoad::default();
+
+    let clusters = [
+        ("n4", Config::new(4, 1, 1).unwrap(), 40u64),
+        ("n7", Config::new(7, 2, 1).unwrap(), 70u64),
+    ];
+    let mut results: Vec<(&str, Config, Vec<Outcome>)> = Vec::new();
+    for (label, cfg, seed_base) in clusters {
+        let outcomes = Scenario::catalog(&cfg, COMMIT_MS)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| run(cfg, seed_base + i as u64, s))
+            .collect();
+        results.push((label, cfg, outcomes));
+    }
+
+    if json {
+        println!("{{");
+        println!("  \"bench\": \"fault_scenarios\",");
+        println!("  \"version\": 1,");
+        println!(
+            "  \"config\": {{\"tick_us\": {}, \"seed\": {}, \"commit_ms\": {COMMIT_MS}, \
+             \"floor_ticks\": {FLOOR_TICKS}, \"load\": {{\"warmup\": {}, \"during\": {}, \"after\": {}}}, \
+             \"transport\": \"channel\"}},",
+            TICK.as_micros(),
+            chaos_seed_from_env(42),
+            load.warmup,
+            load.during,
+            load.after
+        );
+        println!(
+            "  \"unit_note\": \"fast/slow are commit counts before/during/after the fault window \
+             (cluster-wide counter deltas); fast_share is over the whole run; recovered_ms is \
+             wall-clock from heal to every replica fully applied; latency percentiles merge both \
+             commit paths across replicas, in us; every scenario passed the safety, liveness and \
+             path-attribution gates before being reported\","
+        );
+        println!("  \"clusters\": {{");
+        for (ci, (label, cfg, outcomes)) in results.iter().enumerate() {
+            let outer_comma = if ci + 1 < results.len() { "," } else { "" };
+            println!(
+                "    \"{label}\": {{\"n\": {}, \"f\": {}, \"t\": {}, \"scenarios\": {{",
+                cfg.n(),
+                cfg.f(),
+                cfg.t()
+            );
+            for (i, o) in outcomes.iter().enumerate() {
+                let comma = if i + 1 < outcomes.len() { "," } else { "" };
+                println!(
+                    "      \"{}\": {}{comma}",
+                    o.report.scenario,
+                    json_outcome(o)
+                );
+            }
+            println!("    }}}}{outer_comma}");
+        }
+        println!("  }}");
+        println!("}}");
+        return;
+    }
+
+    println!("# graceful degradation under the chaos catalog");
+    println!(
+        "# {} + {} + {} commands around each fault window, channel transport, seed {}\n",
+        load.warmup,
+        load.during,
+        load.after,
+        chaos_seed_from_env(42)
+    );
+    println!(
+        "{}",
+        header(&[
+            "cluster",
+            "scenario",
+            "expectation",
+            "fast (b/d/a)",
+            "slow (b/d/a)",
+            "fast share",
+            "recovered",
+            "p50",
+            "p99 (µs)",
+        ])
+    );
+    for (label, _, outcomes) in &results {
+        for o in outcomes {
+            let r = &o.report;
+            println!(
+                "{}",
+                row(&[
+                    label.to_string(),
+                    r.scenario.to_string(),
+                    o.expectation.to_string(),
+                    format!("{}/{}/{}", r.fast[0], r.fast[1], r.fast[2]),
+                    format!("{}/{}/{}", r.slow[0], r.slow[1], r.slow[2]),
+                    format!("{:.1}%", r.fast_share * 100.0),
+                    format!("{} ms", r.recovered_ms),
+                    r.p50_us.to_string(),
+                    r.p99_us.to_string(),
+                ])
+            );
+        }
+    }
+}

@@ -170,6 +170,12 @@ pub struct Replica {
     my_wish: Option<View>,
     /// Timer generation; stale timers are ignored.
     timer_gen: u64,
+    /// Backoff relief earned by successful commits: each decision shaves
+    /// one doubling off the view-timeout exponent, so a cluster that
+    /// escalated through views during a fault window shrinks back toward
+    /// `base_timeout` once progress resumes instead of keeping
+    /// multi-second timers forever (see [`Replica::timeout_for`]).
+    backoff_relief: u32,
 
     /// Canonical instances of values seen in messages. Every statement
     /// embeds the value's memoized digest, but a value decoded from the
@@ -247,6 +253,7 @@ impl Replica {
             wishes: BTreeMap::new(),
             my_wish: None,
             timer_gen: 0,
+            backoff_relief: 0,
             interned: BTreeSet::new(),
             interned_bytes: 0,
             cert_cache: CertCache::with_capacity(opts.cert_cache_capacity, opts.metrics.clone()),
@@ -304,8 +311,19 @@ impl Replica {
     fn timeout_for(&self, view: View) -> SimDuration {
         // Doubling timeouts: after GST some view's timeout exceeds the time a
         // correct leader needs, giving it the paper's required ≥ 5Δ of quiet.
-        let exp = (view.0.saturating_sub(1)).min(12) as u32;
+        // Commits earn relief (see `backoff_relief`): escalation is driven by
+        // *failed* views, so resumed progress walks the exponent back down —
+        // liveness is unaffected, because while no commits happen relief
+        // stays put and the timeouts still double without bound (to the cap).
+        let exp = ((view.0.saturating_sub(1)).min(12) as u32).saturating_sub(self.backoff_relief);
         SimDuration(self.base_timeout.0.saturating_mul(1 << exp))
+    }
+
+    /// The view-change timeout this replica would arm right now — the
+    /// doubling schedule at the current view, minus any commit-earned
+    /// backoff relief.
+    pub fn current_timeout(&self) -> SimDuration {
+        self.timeout_for(self.view)
     }
 
     fn arm_timer(&mut self, fx: &mut Effects<Message>) {
@@ -318,6 +336,7 @@ impl Replica {
             None => {
                 self.decided = Some(value.clone());
                 self.decided_path = Some(path);
+                self.backoff_relief = (self.backoff_relief + 1).min(12);
                 if let Some(m) = self.metrics.get() {
                     match path {
                         CommitPath::Fast => m.commit_fast_total.inc(),
@@ -946,6 +965,42 @@ mod tests {
         }
         // fast quorum for (4,1,1) is 3.
         assert_eq!(r.decided(), Some(&x));
+    }
+
+    #[test]
+    fn view_timeout_shrinks_back_after_a_commit() {
+        let (cfg, pairs, dir) = fixture(4, 1, 1);
+        let mut r = replica(&cfg, &pairs, &dir, 0, 1);
+        let base = r.current_timeout();
+        assert_eq!(base, r.timeout_for(View::FIRST));
+        // The doubling schedule, untouched while nothing commits.
+        assert_eq!(r.timeout_for(View(4)).0, base.0 * 8);
+
+        // A fast-quorum decision earns one doubling of relief.
+        let x = Value::from_u64(5);
+        let mut buf = fx(1, 4);
+        for sender in [2u32, 3, 4] {
+            r.on_message(
+                ProcessId(sender),
+                Message::Ack(AckMsg {
+                    value: x.clone(),
+                    view: View::FIRST,
+                    share: None,
+                }),
+                &mut buf,
+            );
+        }
+        assert_eq!(r.decided(), Some(&x));
+        assert_eq!(r.timeout_for(View(4)).0, base.0 * 4, "one doubling shaved");
+
+        // Relief never pushes the timeout below the base schedule floor,
+        // even when it exceeds the view's own exponent.
+        r.backoff_relief = 50;
+        assert_eq!(r.timeout_for(View(4)), base);
+        assert_eq!(r.timeout_for(View::FIRST), base);
+        // And the escalation cap still binds above it.
+        r.backoff_relief = 0;
+        assert_eq!(r.timeout_for(View(40)).0, base.0 * (1 << 12));
     }
 
     #[test]

@@ -331,6 +331,10 @@ struct WriterSeat {
     dropped: Arc<AtomicU64>,
     frames: Arc<AtomicU64>,
     messages: Arc<AtomicU64>,
+    /// Peer links of this node currently down (dial failed, cooling
+    /// down) — shared across the node's writer threads so the
+    /// `peer_links_down` gauge reflects the whole node.
+    links_down: Arc<AtomicU64>,
     metrics: MetricsHandle,
 }
 
@@ -437,6 +441,7 @@ impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
         let session_counter = Arc::new(AtomicU64::new(0));
         let frames = Arc::new(AtomicU64::new(0));
         let messages = Arc::new(AtomicU64::new(0));
+        let links_down = Arc::new(AtomicU64::new(0));
         let n = addrs.len();
         let mut peers: Vec<Option<PeerHandle>> = Vec::with_capacity(n);
         let mut dropped: Vec<Arc<AtomicU64>> = Vec::with_capacity(n);
@@ -462,6 +467,7 @@ impl<M: SimMessage + Encode + Decode> TcpTransport<M> {
                 dropped: counter,
                 frames: Arc::clone(&frames),
                 messages: Arc::clone(&messages),
+                links_down: Arc::clone(&links_down),
                 metrics: metrics.clone(),
             };
             let writer = std::thread::spawn(move || peer_writer(seat, rx));
@@ -658,6 +664,7 @@ fn peer_writer(seat: WriterSeat, rx: Receiver<Bytes>) {
     let mut link: Option<Outbound> = None;
     let mut dead_until: Option<Instant> = None;
     let mut ever_linked = false;
+    let mut is_down = false;
     let mut batch: Vec<Bytes> = Vec::new();
     let mut payload: Vec<u8> = Vec::new();
     let mut wire: Vec<u8> = Vec::new();
@@ -683,6 +690,7 @@ fn peer_writer(seat: WriterSeat, rx: Receiver<Bytes>) {
                     .fetch_add(batch.len() as u64, Ordering::Relaxed);
                 if let Some(m) = seat.metrics.get() {
                     m.send_drop_total.add(batch.len() as u64);
+                    m.send_drop_unreachable_total.add(batch.len() as u64);
                 }
                 continue;
             }
@@ -700,6 +708,7 @@ fn peer_writer(seat: WriterSeat, rx: Receiver<Bytes>) {
                     }
                 }
                 ever_linked = true;
+                mark_link_up(&seat, &mut is_down);
             }
         }
         let wrote = match link.as_mut() {
@@ -730,10 +739,59 @@ fn peer_writer(seat: WriterSeat, rx: Receiver<Bytes>) {
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         if let Some(m) = seat.metrics.get() {
             m.send_drop_total.add(batch.len() as u64);
+            m.send_drop_unreachable_total.add(batch.len() as u64);
         }
+        mark_link_down(&seat, &mut is_down);
         dead_until = Some(Instant::now() + seat.opts.redial_cooldown);
     }
     drop_link(&seat, link.take());
+    // Shutdown: this writer no longer watches the peer, so its down state
+    // must leave the node-wide gauge (a dangling "link down" after the
+    // cluster stops would read as an outage).
+    if is_down {
+        let down = seat.links_down.fetch_sub(1, Ordering::Relaxed) - 1;
+        if let Some(m) = seat.metrics.get() {
+            m.peer_links_down.set(down);
+        }
+    }
+}
+
+/// Marks this writer's peer link down (first failure only): bumps the
+/// node-wide `peer_links_down` gauge and logs a flight-recorder event, so
+/// a dead peer is visible in a live scrape — not only via
+/// [`TcpStats::dropped_to`] grabbed before spawn.
+fn mark_link_down(seat: &WriterSeat, is_down: &mut bool) {
+    if *is_down {
+        return;
+    }
+    *is_down = true;
+    let down = seat.links_down.fetch_add(1, Ordering::Relaxed) + 1;
+    if let Some(m) = seat.metrics.get() {
+        m.peer_links_down.set(down);
+        m.recorder.record(
+            "peer-link-down",
+            format!(
+                "p{} -> p{} unreachable, cooling down {:?}",
+                seat.me.0, seat.peer.0, seat.opts.redial_cooldown
+            ),
+        );
+    }
+}
+
+/// Clears the down state once a dial succeeds again.
+fn mark_link_up(seat: &WriterSeat, is_down: &mut bool) {
+    if !*is_down {
+        return;
+    }
+    *is_down = false;
+    let down = seat.links_down.fetch_sub(1, Ordering::Relaxed) - 1;
+    if let Some(m) = seat.metrics.get() {
+        m.peer_links_down.set(down);
+        m.recorder.record(
+            "peer-link-up",
+            format!("p{} -> p{} link restored", seat.me.0, seat.peer.0),
+        );
+    }
 }
 
 /// Releases an outbound link's registry entry (and thereby its fd clone).

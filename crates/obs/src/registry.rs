@@ -68,7 +68,15 @@ pub struct Metrics {
     pub mac_reject_total: Counter,
     pub reconnect_total: Counter,
     pub send_drop_total: Counter,
+    pub send_drop_unreachable_total: Counter,
     pub writer_queue_depth_peak: Gauge,
+    pub peer_links_down: Gauge,
+    // faults: the injection plane (FaultTransport / FaultPlan).
+    pub fault_delay_injected_total: Counter,
+    pub fault_drop_injected_total: Counter,
+    pub fault_dup_injected_total: Counter,
+    pub fault_partition_drop_total: Counter,
+    pub fault_links_shaped: Gauge,
     /// This replica's flight recorder (rare control-plane events).
     pub recorder: FlightRecorder,
 }
@@ -80,7 +88,7 @@ impl Metrics {
     }
 
     /// `(name, help, counter)` for every counter, in exposition order.
-    fn counters(&self) -> [(&'static str, &'static str, &Counter); 23] {
+    fn counters(&self) -> [(&'static str, &'static str, &Counter); 28] {
         [
             (
                 "commit_fast_total",
@@ -197,6 +205,31 @@ impl Metrics {
                 "Peer links re-established after a drop (first dials excluded).",
                 &self.reconnect_total,
             ),
+            (
+                "send_drop_unreachable_total",
+                "Outbound messages dropped because the peer link was down or cooling down.",
+                &self.send_drop_unreachable_total,
+            ),
+            (
+                "fault_delay_injected_total",
+                "Deliveries delayed by the fault plan (delay, jitter, reorder, bandwidth).",
+                &self.fault_delay_injected_total,
+            ),
+            (
+                "fault_drop_injected_total",
+                "Deliveries dropped by the fault plan's probabilistic loss.",
+                &self.fault_drop_injected_total,
+            ),
+            (
+                "fault_dup_injected_total",
+                "Duplicate deliveries injected by the fault plan.",
+                &self.fault_dup_injected_total,
+            ),
+            (
+                "fault_partition_drop_total",
+                "Deliveries dropped by a hard partition in the fault plan.",
+                &self.fault_partition_drop_total,
+            ),
         ]
     }
 
@@ -228,7 +261,7 @@ impl Metrics {
     }
 
     /// `(name, help, gauge)` for every gauge.
-    fn gauges(&self) -> [(&'static str, &'static str, &Gauge); 4] {
+    fn gauges(&self) -> [(&'static str, &'static str, &Gauge); 6] {
         [
             (
                 "stash_depth",
@@ -249,6 +282,16 @@ impl Metrics {
                 "writer_queue_depth_peak",
                 "High-water mark of any per-peer writer queue, in messages.",
                 &self.writer_queue_depth_peak,
+            ),
+            (
+                "peer_links_down",
+                "Peer links currently unreachable (writer dialing or cooling down).",
+                &self.peer_links_down,
+            ),
+            (
+                "fault_links_shaped",
+                "Fault-plan rules active in this node's snapshot (pairs + wildcards).",
+                &self.fault_links_shaped,
             ),
         ]
     }
@@ -646,6 +689,40 @@ mod tests {
         assert!(json.contains("\"ingress_shed_bytes_total\":448"));
         assert!(json.contains("\"apply_queue_depth\":3"));
         assert!(json.contains("\"batch_flush_size_total\":4"));
+    }
+
+    #[test]
+    fn fault_plane_exposition_shape() {
+        // The fault-injection plane and the per-link TCP health metrics
+        // must surface in both exporters: injected drops/delays/partitions
+        // are attributable without grabbing `TcpStats` before spawn.
+        let reg = MetricsRegistry::new(1);
+        let m = reg.metrics(0);
+        m.fault_delay_injected_total.add(11);
+        m.fault_drop_injected_total.add(3);
+        m.fault_dup_injected_total.inc();
+        m.fault_partition_drop_total.add(9);
+        m.fault_links_shaped.set(4);
+        m.send_drop_unreachable_total.add(6);
+        m.peer_links_down.set(2);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE fastbft_fault_delay_injected_total counter"));
+        assert!(text.contains("fastbft_fault_delay_injected_total{replica=\"p1\"} 11"));
+        assert!(text.contains("fastbft_fault_drop_injected_total{replica=\"p1\"} 3"));
+        assert!(text.contains("fastbft_fault_dup_injected_total{replica=\"p1\"} 1"));
+        assert!(text.contains("fastbft_fault_partition_drop_total{replica=\"p1\"} 9"));
+        assert!(text.contains("# TYPE fastbft_fault_links_shaped gauge"));
+        assert!(text.contains("fastbft_fault_links_shaped{replica=\"p1\"} 4"));
+        assert!(text.contains("fastbft_send_drop_unreachable_total{replica=\"p1\"} 6"));
+        assert!(text.contains("# TYPE fastbft_peer_links_down gauge"));
+        assert!(text.contains("fastbft_peer_links_down{replica=\"p1\"} 2"));
+        let json = reg.render_json();
+        assert!(json.contains("\"fault_delay_injected_total\":11"));
+        assert!(json.contains("\"fault_drop_injected_total\":3"));
+        assert!(json.contains("\"fault_partition_drop_total\":9"));
+        assert!(json.contains("\"fault_links_shaped\":4"));
+        assert!(json.contains("\"send_drop_unreachable_total\":6"));
+        assert!(json.contains("\"peer_links_down\":2"));
     }
 
     #[test]

@@ -305,6 +305,15 @@ impl<M: SimMessage> ChannelTransport<M> {
     }
 }
 
+#[cfg(test)]
+impl<M: SimMessage> ChannelTransport<M> {
+    /// Severs this transport's own clones of the peer senders so `recv`
+    /// can observe [`Polled::Closed`] once every external feeder is gone.
+    pub(crate) fn clear_peers_for_test(&mut self) {
+        self.peers.clear();
+    }
+}
+
 impl<M: SimMessage> Transport<M> for ChannelTransport<M> {
     fn send(&mut self, to: ProcessId, msg: M) {
         // A send to a stopped peer is fine; ignore the error.

@@ -1,0 +1,198 @@
+//! Byzantine actors *under an active fault plan*: the adversary gets both
+//! a corrupted process and a hostile network, and the correct replicas
+//! must still agree. This is the composition the chaos plane exists for —
+//! scripted faults applied to live clusters that already contain
+//! protocol-level adversaries.
+//!
+//! The plan shapes honest↔honest links with delay, jitter, reordering and
+//! duplication — faults that preserve *eventual delivery*, which is the
+//! link assumption the single-shot protocol is proved under. Outright
+//! loss is confined to links touching the Byzantine seat: dropping a
+//! liar's traffic (or deliveries addressed to it) can only shrink the
+//! adversary's power, so the plan stays within the paper's model while
+//! every fault class still fires. (Sustained loss between *correct*
+//! processes belongs to the SMR chaos suite, whose backfill layer
+//! restores the reliable-link abstraction.)
+
+use std::thread;
+use std::time::Duration;
+
+use fastbft_core::byzantine::{EquivocatingLeader, RandomByzantine};
+use fastbft_core::message::Message;
+use fastbft_core::replica::{Replica, ReplicaOptions};
+use fastbft_crypto::KeyDirectory;
+use fastbft_runtime::chaos::chaos_seed_from_env;
+use fastbft_runtime::transport::ChannelTransport;
+use fastbft_runtime::{spawn_with, wrap_seats, ClusterHandle, FaultPlan, LinkProfile, NodeSeat};
+use fastbft_sim::Actor;
+use fastbft_types::{Config, ProcessId, Value, View};
+
+const TICK: Duration = Duration::from_micros(50);
+
+/// The shared shaping profile for links between correct processes:
+/// delayed, jittered, occasionally reordered and duplicated — but every
+/// delivery eventually arrives.
+fn hostile_but_fair() -> LinkProfile {
+    LinkProfile::delayed(Duration::from_millis(2), Duration::from_millis(1))
+        .with_reorder(0.2, Duration::from_millis(2))
+        .with_duplication(0.1)
+}
+
+/// Builds the plan: fair-but-hostile everywhere, plus loss on every link
+/// into and out of the Byzantine process.
+fn byzantine_weather(byz: ProcessId) -> FaultPlan {
+    let plan = FaultPlan::default();
+    plan.set_default(hostile_but_fair());
+    plan.set_outbound(byz, hostile_but_fair().with_loss(0.25));
+    plan.set_inbound(byz, hostile_but_fair().with_loss(0.25));
+    plan
+}
+
+/// Wraps `actors` over the channel mesh with every link shaped by `plan`
+/// and spawns them on the thread runtime.
+fn spawn_faulted(
+    actors: Vec<Box<dyn Actor<Message> + Send>>,
+    plan: &FaultPlan,
+) -> ClusterHandle<Message> {
+    let n = actors.len();
+    let seats: Vec<NodeSeat<_, ChannelTransport<_>>> = actors
+        .into_iter()
+        .zip(ChannelTransport::mesh(n))
+        .map(|(actor, (transport, control))| NodeSeat {
+            actor,
+            transport,
+            control,
+            verify: None,
+        })
+        .collect();
+    spawn_with(wrap_seats(seats, plan, chaos_seed_from_env(42)), TICK)
+}
+
+/// Heals the plan on a background thread once `after` elapses, covering
+/// both the shaped regime and the recovery in one run.
+fn heal_after(plan: &FaultPlan, after: Duration) -> thread::JoinHandle<()> {
+    let plan = plan.clone();
+    thread::spawn(move || {
+        thread::sleep(after);
+        plan.heal();
+    })
+}
+
+/// An equivocating view-1 leader (value `a` to part of the cluster, `b`
+/// to the rest) under the shaped network: the correct replicas must never
+/// decide different values, and must still decide once views rotate past
+/// the liar.
+#[test]
+fn equivocating_leader_under_faults_cannot_split_the_cluster() {
+    let cfg = Config::new(4, 1, 1).unwrap();
+    let leader = cfg.leader(View::FIRST);
+    let (pairs, dir) = KeyDirectory::generate(4, 31);
+    let a = Value::from_u64(100);
+    let b = Value::from_u64(200);
+    let honest = Value::from_u64(7);
+    let recipients_a: Vec<ProcessId> = cfg.processes().filter(|p| *p != leader).take(2).collect();
+
+    let actors: Vec<Box<dyn Actor<Message> + Send>> = cfg
+        .processes()
+        .map(|p| -> Box<dyn Actor<Message> + Send> {
+            if p == leader {
+                Box::new(EquivocatingLeader::new(
+                    pairs[p.index()].clone(),
+                    a.clone(),
+                    b.clone(),
+                    recipients_a.clone(),
+                ))
+            } else {
+                Box::new(Replica::with_options(
+                    cfg,
+                    pairs[p.index()].clone(),
+                    dir.clone(),
+                    honest.clone(),
+                    ReplicaOptions::default(),
+                ))
+            }
+        })
+        .collect();
+
+    let plan = byzantine_weather(leader);
+    let cluster = spawn_faulted(actors, &plan);
+    let healer = heal_after(&plan, Duration::from_millis(400));
+
+    let decisions = cluster.await_decisions(3, Duration::from_secs(30));
+    healer.join().unwrap();
+    cluster.shutdown();
+
+    assert_eq!(
+        decisions.len(),
+        3,
+        "all correct replicas must decide; got {decisions:?}"
+    );
+    let first = &decisions[0].value;
+    for d in &decisions {
+        assert_eq!(
+            &d.value, first,
+            "{:?} decided a different value under equivocation + faults",
+            d.process
+        );
+    }
+    assert!(plan.injected_delays() > 0, "delay shaping must have fired");
+    assert!(
+        plan.injected_drops() > 0,
+        "loss on the liar's links must have fired"
+    );
+}
+
+/// A message-fuzzing Byzantine process on a generalized 8-node cluster
+/// (f = 2, t = 1) under the shaped network: the correct replicas must
+/// decide the honest leader's value, unanimously.
+#[test]
+fn random_byzantine_under_faults_cannot_block_agreement() {
+    let cfg = Config::new(8, 2, 1).unwrap();
+    let (pairs, dir) = KeyDirectory::generate(8, 32);
+    let honest = Value::from_u64(7);
+    let byz = ProcessId(8); // never the view-1 leader (that is p2)
+
+    let actors: Vec<Box<dyn Actor<Message> + Send>> = cfg
+        .processes()
+        .map(|p| -> Box<dyn Actor<Message> + Send> {
+            if p == byz {
+                Box::new(RandomByzantine::new(cfg, pairs[p.index()].clone(), 99))
+            } else {
+                Box::new(Replica::with_options(
+                    cfg,
+                    pairs[p.index()].clone(),
+                    dir.clone(),
+                    honest.clone(),
+                    ReplicaOptions::default(),
+                ))
+            }
+        })
+        .collect();
+
+    let plan = byzantine_weather(byz);
+    let cluster = spawn_faulted(actors, &plan);
+    let healer = heal_after(&plan, Duration::from_millis(400));
+
+    let decisions = cluster.await_decisions(7, Duration::from_secs(30));
+    healer.join().unwrap();
+    cluster.shutdown();
+
+    assert_eq!(
+        decisions.len(),
+        7,
+        "all correct replicas must decide; got {decisions:?}"
+    );
+    for d in &decisions {
+        assert_eq!(
+            d.value, honest,
+            "{:?} decided a value the fuzzer forged",
+            d.process
+        );
+    }
+    assert!(plan.injected_delays() > 0, "delay shaping must have fired");
+    assert!(
+        plan.injected_drops() > 0,
+        "loss on the fuzzer's links must have fired"
+    );
+    assert!(plan.injected_dups() > 0, "duplication must have fired");
+}

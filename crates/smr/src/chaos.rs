@@ -1,0 +1,264 @@
+//! The graceful-degradation harness: drives an SMR cluster through a
+//! chaos [`Scenario`] and asserts the three properties every scenario
+//! must exhibit (see [`fastbft_runtime::chaos`]):
+//!
+//! 1. **Safety** — the per-replica logs agree, fault or no fault.
+//! 2. **Liveness after heal** — the full command load (submitted before,
+//!    during, and after the fault window) is applied by *every* replica
+//!    within the scenario's derived recovery window.
+//! 3. **Path attribution** — the metrics plane shows the commit path the
+//!    scenario's [`PathExpectation`] demands: fast-path commits resume
+//!    after heal, and while the fast quorum is unreachable the commits
+//!    that do land are slow-path.
+//!
+//! The harness is transport-generic: hand it seats built over the
+//! channel mesh ([`fastbft_runtime::wrap_seats_metered`]) or over TCP
+//! (`fastbft_net::faults::fault_tcp_seats_metered`) — the same scenarios
+//! and the same assertions run on both, which is exactly the chaos
+//! suite's CI matrix.
+
+use std::time::{Duration, Instant};
+
+use fastbft_obs::{Histogram, MetricsRegistry};
+use fastbft_runtime::chaos::{run_scenario, PathExpectation, Scenario};
+use fastbft_runtime::faults::FaultPlan;
+use fastbft_runtime::{spawn_with, NodeSeat, Transport};
+use fastbft_types::{Config, ProcessId, Value};
+
+use crate::multiplex::SlotMessage;
+use crate::runtime::SmrClusterHandle;
+
+/// How much load the harness offers around the fault window.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosLoad {
+    /// Commands committed *before* the fault starts (healthy baseline,
+    /// also warms sessions and memos).
+    pub warmup: u64,
+    /// Commands submitted *while* the fault holds.
+    pub during: u64,
+    /// Commands submitted *after* the script completes.
+    pub after: u64,
+}
+
+impl Default for ChaosLoad {
+    fn default() -> Self {
+        ChaosLoad {
+            warmup: 6,
+            during: 6,
+            after: 6,
+        }
+    }
+}
+
+/// What a chaos run measured, for `BENCH_faults.json` and for test
+/// assertions beyond the built-in gates.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Cluster size.
+    pub n: usize,
+    /// Fast-path commits (before, during, after) the fault window.
+    pub fast: [u64; 3],
+    /// Slow-path commits (before, during, after) the fault window.
+    pub slow: [u64; 3],
+    /// Share of all commits that took the fast path, across the run.
+    pub fast_share: f64,
+    /// Wall-clock from heal to full liveness (every replica applied the
+    /// whole load).
+    pub recovered_ms: u64,
+    /// Commit-latency p50 across both paths and all replicas, µs.
+    pub p50_us: u64,
+    /// Commit-latency p99 across both paths and all replicas, µs.
+    pub p99_us: u64,
+    /// Injected-fault counters: delays, drops, dups, partition drops.
+    pub injected: [u64; 4],
+}
+
+/// Runs `scenario` against a cluster built from `seats` (already wrapped
+/// in [`FaultTransport`](fastbft_runtime::FaultTransport)s on `plan`,
+/// metered into `registry`) and asserts the three degradation
+/// properties. `base_timeout` is the wall-clock view-1 timeout the
+/// replicas were built with — derive it from the scenario
+/// ([`Scenario::base_timeout_ticks`]), never hand-tune it per test.
+///
+/// # Panics
+///
+/// Panics — failing the calling test — if any degradation property is
+/// violated: log divergence, liveness not restored within the recovery
+/// window, commit-path attribution contradicting the scenario's
+/// expectation, or a fault class the scenario promises to inject never
+/// firing.
+#[allow(clippy::too_many_arguments)]
+pub fn run_chaos<T: Transport<SlotMessage>>(
+    seats: Vec<NodeSeat<SlotMessage, T>>,
+    cfg: Config,
+    idle: Value,
+    registry: MetricsRegistry,
+    plan: FaultPlan,
+    mut scenario: Scenario,
+    tick: Duration,
+    base_timeout: Duration,
+    load: ChaosLoad,
+) -> ChaosReport {
+    let n = cfg.n();
+    assert_eq!(seats.len(), n, "one seat per process");
+    let name = scenario.name;
+    let all: Vec<ProcessId> = (0..n).map(ProcessId::from_index).collect();
+    let totals = |registry: &MetricsRegistry| -> (u64, u64) {
+        (
+            registry.total(|m| &m.commit_fast_total),
+            registry.total(|m| &m.commit_slow_total),
+        )
+    };
+
+    let mut cluster = SmrClusterHandle::new(spawn_with(seats, tick), n, idle);
+    cluster.attach_metrics(registry.clone());
+
+    // Phase 1: healthy baseline. Commands are tagged by phase so replays
+    // and duplicates can never alias across phases.
+    for i in 0..load.warmup {
+        cluster.submit(Value::from_u64(0x0100_0000 + i));
+    }
+    assert!(
+        cluster.await_commands(all.clone(), load.warmup, Duration::from_secs(30)),
+        "[{name}] warmup load must commit on a healthy cluster"
+    );
+    let (fast0, slow0) = totals(&registry);
+
+    // Phase 2: the fault window. The script runs on its own thread; the
+    // harness offers load underneath it.
+    let fault_started = Instant::now();
+    let run = run_scenario(&plan, &mut scenario, registry.replica(0));
+    for i in 0..load.during {
+        cluster.submit(Value::from_u64(0x0200_0000 + i));
+    }
+    let (fast1, slow1);
+    if scenario.expectation == PathExpectation::SlowWhileFaulted {
+        // The survivors must keep committing *while* the fault holds —
+        // wait for them inside the window and snapshot before heal fires,
+        // so the during-window counters cannot be polluted by a healed
+        // fast path racing ahead.
+        let survivors: Vec<ProcessId> = all[..n - (cfg.t() + 1)].to_vec();
+        let window = scenario
+            .heal_at
+            .map(|heal| heal.saturating_sub(fault_started.elapsed()))
+            .map(|left| left.saturating_sub(left / 10))
+            .unwrap_or(Duration::from_secs(5));
+        assert!(
+            cluster.await_commands(survivors, load.warmup + load.during, window),
+            "[{name}] survivors above the slow quorum must commit during the fault"
+        );
+        (fast1, slow1) = totals(&registry);
+        run.join();
+    } else {
+        // No mid-window gate: let the script run out (its last step is
+        // the heal), then snapshot — the during bucket covers the whole
+        // fault window.
+        run.join();
+        (fast1, slow1) = totals(&registry);
+    }
+
+    // Phase 3: post-heal. Liveness must return within the derived
+    // recovery window, on every replica — including the ones that were
+    // cut off.
+    let healed = Instant::now();
+    for i in 0..load.after {
+        cluster.submit(Value::from_u64(0x0300_0000 + i));
+    }
+    let total = load.warmup + load.during + load.after;
+    let window = scenario.recovery_window(base_timeout);
+    assert!(
+        cluster.await_commands(all, total, window),
+        "[{name}] liveness must return within {window:?} of heal"
+    );
+    let recovered_ms = healed.elapsed().as_millis() as u64;
+    let (fast2, slow2) = totals(&registry);
+
+    // Property 1: safety, always.
+    assert!(cluster.logs_agree(), "[{name}] log divergence under faults");
+
+    // Property 3: path attribution per the scenario's expectation.
+    let (fast_during, slow_during) = (fast1 - fast0, slow1 - slow0);
+    let fast_after = fast2 - fast1;
+    match scenario.expectation {
+        PathExpectation::FastRecovers => {
+            assert!(
+                fast_after > 0,
+                "[{name}] fast path must produce commits after heal (fast {fast0}→{fast1}→{fast2})"
+            );
+        }
+        PathExpectation::SlowWhileFaulted => {
+            assert!(
+                slow_during > 0,
+                "[{name}] commits during the fault must exist on the slow path"
+            );
+            assert!(
+                slow_during > fast_during,
+                "[{name}] with the fast quorum unreachable, the slow path must carry \
+                 the fault window (fast {fast_during}, slow {slow_during})"
+            );
+            assert!(
+                fast_after > 0,
+                "[{name}] the fast path must resume after heal"
+            );
+        }
+        PathExpectation::StallAllowed => {
+            assert!(
+                fast_after > 0,
+                "[{name}] a stalled cluster must resume fast commits after heal"
+            );
+        }
+    }
+
+    // The fault classes the scenario promises must actually have fired —
+    // otherwise the run proved nothing.
+    if scenario.injects_delays {
+        assert!(
+            plan.injected_delays() > 0,
+            "[{name}] promised delay injection never fired"
+        );
+    }
+    if scenario.injects_drops {
+        assert!(
+            plan.injected_drops() > 0,
+            "[{name}] promised loss injection never fired"
+        );
+    }
+    if scenario.injects_partitions {
+        assert!(
+            plan.partition_drops() > 0,
+            "[{name}] promised partition never dropped a delivery"
+        );
+    }
+
+    let latency = Histogram::new();
+    for i in 0..n {
+        latency.merge_from(&registry.metrics(i).commit_latency_fast_us);
+        latency.merge_from(&registry.metrics(i).commit_latency_slow_us);
+    }
+    let (fast_total, slow_total) = (fast2, slow2);
+    let fast_share = if fast_total + slow_total > 0 {
+        fast_total as f64 / (fast_total + slow_total) as f64
+    } else {
+        0.0
+    };
+
+    cluster.shutdown();
+    ChaosReport {
+        scenario: name,
+        n,
+        fast: [fast0, fast_during, fast_after],
+        slow: [slow0, slow_during, slow2 - slow1],
+        fast_share,
+        recovered_ms,
+        p50_us: latency.quantile(0.5),
+        p99_us: latency.quantile(0.99),
+        injected: [
+            plan.injected_delays(),
+            plan.injected_drops(),
+            plan.injected_dups(),
+            plan.partition_drops(),
+        ],
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod apply;
+pub mod chaos;
 pub mod harness;
 pub mod kv;
 pub mod machine;

@@ -1862,7 +1862,24 @@ impl<S: StateMachine + 'static> Actor<SlotMessage> for SmrNode<S> {
             SlotMessage::Consensus { slot, inner } => {
                 self.note_peer_tip(from, slot, fx);
                 if slot < self.applied {
-                    return; // already settled and cleaned up
+                    // The sender is still running consensus on a slot we
+                    // settled — typically a replica healing from a
+                    // partition whose hole is too small to trip the
+                    // far-behind trigger (`RECOVERY_GAP`). Answer with the
+                    // committed value; once f + 1 peers do, the hole
+                    // closes ([`Self::on_backfill`]). One reply per
+                    // inbound frame, so a spamming peer gains no
+                    // amplification.
+                    if let Some(value) = self.committed_tail.get(&slot) {
+                        fx.send(
+                            from,
+                            SlotMessage::Backfill {
+                                slot,
+                                value: value.clone(),
+                            },
+                        );
+                    }
+                    return;
                 }
                 if !self.slots.contains_key(&slot) && !self.decided.contains_key(&slot) {
                     if slot < self.applied + SLOT_WINDOW {
